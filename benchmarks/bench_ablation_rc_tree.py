@@ -1,0 +1,104 @@
+"""Ablation A2 — lumped-C vs RC-tree capacitance treatment.
+
+The second design choice DESIGN.md calls out: treating a stage's
+capacitance as distributed along the path (RC tree / Elmore) instead of
+lumping it all at the output.  On branched pass networks the lumped
+treatment charges every side-branch capacitance through the full path
+resistance and overestimates grossly; the tree treatment only charges the
+shared portion.
+"""
+
+from repro.analog import delay_between, simulate, sources
+from repro.bench import format_series
+from repro.circuits import Gates
+from repro.core.models import LumpedRCModel, RCTreeModel
+from repro.core.timing import InputSpec, TimingAnalyzer
+from repro.netlist import Network
+from repro.tech import Transition
+
+
+def branched_pass_network(tech, trunk: int, branch: int):
+    """An inverter driving a pass trunk with a capacitive side branch
+    hanging off its midpoint — the structure where lumping is worst."""
+    net = Network(tech, name=f"branched{trunk}x{branch}")
+    gates = Gates(net)
+    gates.inverter("in", "drv")
+    previous = "drv"
+    mid = max(1, trunk // 2)
+    for i in range(1, trunk + 1):
+        node = "out" if i == trunk else f"t{i}"
+        gates.pass_nmos("en", previous, node)
+        previous = node
+    # Side branch off the trunk midpoint.
+    previous = f"t{mid}" if trunk > 1 else "out"
+    for j in range(1, branch + 1):
+        node = f"b{j}"
+        gates.pass_nmos("en", previous, node)
+        net.add_capacitor(node, "gnd", 30e-15)
+        previous = node
+    net.add_capacitor("out", "gnd", 20e-15)
+    net.mark_input("in", "en")
+    return net
+
+
+def _measure(tech, trunk, branch):
+    net = branched_pass_network(tech, trunk, branch)
+    result = simulate(
+        net,
+        {"in": sources.edge(tech.vdd, rising=False, at=2e-9,
+                            transition_time=0.3e-9),
+         "en": tech.vdd},
+        t_stop=60e-9 + 25e-9 * (trunk + branch),
+        steps=3000,
+    )
+    reference = delay_between(result.waveform("in"), result.waveform("out"),
+                              tech.vdd, Transition.FALL, Transition.RISE)
+    inputs = {
+        "in": InputSpec(arrival_rise=None, arrival_fall=0.0, slope=0.3e-9),
+        "en": InputSpec(arrival_rise=None, arrival_fall=None),
+    }
+    estimates = {}
+    for model in (LumpedRCModel(), RCTreeModel()):
+        analysis = TimingAnalyzer(net, model=model).analyze(inputs)
+        estimates[model.name] = analysis.arrival("out", Transition.RISE).time
+    return reference, estimates
+
+
+def test_ablation_rc_tree(benchmark, cmos_char, emit):
+    cases = {(trunk, branch): _measure(cmos_char, trunk, branch)
+             for trunk, branch in ((4, 0), (4, 2), (4, 4), (6, 4))}
+
+    def render():
+        rows = []
+        for (trunk, branch), (reference, est) in sorted(cases.items()):
+            rows.append((
+                trunk, branch, reference,
+                est["lumped-rc"],
+                (est["lumped-rc"] - reference) / reference,
+                est["rc-tree"],
+                (est["rc-tree"] - reference) / reference,
+            ))
+        return format_series(
+            ["trunk", "branch", "reference", "lumped", "lumped err",
+             "rc-tree", "tree err"],
+            rows,
+            "Ablation A2: capacitance treatment on branched pass networks")
+
+    emit("ablation_rc_tree", benchmark(render))
+
+    for (trunk, branch), (reference, est) in cases.items():
+        lumped_err = (est["lumped-rc"] - reference) / reference
+        tree_err = abs(est["rc-tree"] - reference) / reference
+        assert tree_err < 0.30, ((trunk, branch), tree_err)
+        if branch >= 2:
+            # Side branches make lumping much worse than the tree.
+            assert lumped_err > 2.0 * tree_err, ((trunk, branch),
+                                                 lumped_err, tree_err)
+
+    # Pessimism grows with the branch size at fixed trunk.
+    errs = {
+        branch: (cases[(4, branch)][1]["lumped-rc"] - cases[(4, branch)][0])
+        / cases[(4, branch)][0]
+        for branch in (0, 2, 4)
+    }
+    assert errs[4] > errs[2] > errs[0] - 0.05

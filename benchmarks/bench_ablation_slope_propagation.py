@@ -1,0 +1,74 @@
+"""Ablation A1 — the slope model with and without slope propagation.
+
+DESIGN.md calls out slope propagation (each stage's output transition
+time feeding the next stage's slope ratio) as the model's load-bearing
+design choice.  This ablation runs the slope model twice on slope-
+dominated inverter chains — once as shipped, once with every stage forced
+to assume a step input — and shows the accuracy collapse.
+"""
+
+from repro.analog import delay_between, simulate, sources
+from repro.bench import format_series
+from repro.circuits import inverter_chain
+from repro.core.models import SlopeModel
+from repro.core.timing import InputSpec, TimingAnalyzer
+from repro.tech import Transition
+
+
+def _measure(tech, stages, input_slope):
+    net = inverter_chain(tech, stages)
+    result = simulate(
+        net,
+        {"in": sources.edge(tech.vdd, rising=True, at=2e-9 + input_slope,
+                            transition_time=input_slope)},
+        t_stop=2e-9 + input_slope + 12e-9 * stages,
+        steps=2500,
+    )
+    out_edge = Transition.RISE if stages % 2 == 0 else Transition.FALL
+    reference = delay_between(result.waveform("in"), result.waveform("out"),
+                              tech.vdd, Transition.RISE, out_edge)
+    inputs = {"in": InputSpec(arrival_rise=0.0, arrival_fall=None,
+                              slope=input_slope)}
+    estimates = {}
+    for label, model in (
+        ("with-propagation", SlopeModel(propagate_slopes=True)),
+        ("no-propagation", SlopeModel(propagate_slopes=False)),
+    ):
+        analysis = TimingAnalyzer(net, model=model).analyze(inputs)
+        estimates[label] = analysis.arrival("out", out_edge).time
+    return reference, estimates
+
+
+def test_ablation_slope_propagation(benchmark, cmos_char, emit):
+    cases = {(stages, slope): _measure(cmos_char, stages, slope)
+             for stages in (2, 4, 6)
+             for slope in (0.3e-9, 2e-9)}
+
+    def render():
+        rows = []
+        for (stages, slope), (reference, est) in sorted(cases.items()):
+            rows.append((
+                stages, slope, reference,
+                est["with-propagation"],
+                (est["with-propagation"] - reference) / reference,
+                est["no-propagation"],
+                (est["no-propagation"] - reference) / reference,
+            ))
+        return format_series(
+            ["stages", "input slope", "reference", "propagated",
+             "prop err", "step-assumed", "step err"],
+            rows,
+            "Ablation A1: slope propagation on inverter chains")
+
+    emit("ablation_slope_propagation", benchmark(render))
+
+    # With propagation: small errors everywhere.  Without: systematic,
+    # large underestimates that grow with chain length.
+    for (stages, slope), (reference, est) in cases.items():
+        err_with = abs(est["with-propagation"] - reference) / reference
+        err_without = abs(est["no-propagation"] - reference) / reference
+        assert err_with < 0.12, (stages, slope, err_with)
+        if stages >= 4:
+            assert err_without > 2.0 * err_with, (stages, slope)
+            # The un-propagated model always underestimates.
+            assert est["no-propagation"] < reference

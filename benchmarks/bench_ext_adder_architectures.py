@@ -1,0 +1,71 @@
+"""Extension experiment E1 — architecture comparison with the analyzer.
+
+The paper's closing argument is that fast switch-level timing lets a
+designer *compare architectures* instead of guessing.  This bench does
+exactly that: ripple-carry vs carry-select adders across word widths,
+critical path (slope model) against device cost.
+
+Expected shape: ripple delay grows linearly with width; carry-select
+grows much more slowly (one block plus a mux chain) at a substantial
+device-count premium, with the crossover inside the swept range.
+"""
+
+from repro.bench import format_series
+from repro.circuits import (
+    adder_input_names,
+    carry_select_adder,
+    ripple_carry_adder,
+)
+from repro.core.timing import TimingAnalyzer
+
+WIDTHS = (4, 8, 16, 24)
+BLOCK = 4
+
+
+def _worst_arrival(network, bits):
+    analyzer = TimingAnalyzer(network)
+    result = analyzer.analyze({n: 0.0 for n in adder_input_names(bits)})
+    return result.worst([f"s{bits - 1}", "cout"])[1].time
+
+
+def test_ext_adder_architectures(benchmark, cmos_char, emit):
+    measurements = {}
+    for bits in WIDTHS:
+        ripple = ripple_carry_adder(cmos_char, bits)
+        select = carry_select_adder(cmos_char, bits, block=BLOCK)
+        measurements[bits] = {
+            "ripple": (_worst_arrival(ripple, bits),
+                       len(ripple.transistors)),
+            "select": (_worst_arrival(select, bits),
+                       len(select.transistors)),
+        }
+
+    def render():
+        rows = []
+        for bits in WIDTHS:
+            (t_r, n_r) = measurements[bits]["ripple"]
+            (t_s, n_s) = measurements[bits]["select"]
+            rows.append((bits, t_r, n_r, t_s, n_s, t_r / t_s))
+        return format_series(
+            ["bits", "ripple delay", "ripple devs", "select delay",
+             "select devs", "speedup"],
+            rows,
+            f"Extension E1: ripple vs carry-select (block={BLOCK})")
+
+    emit("ext_adder_architectures", benchmark(render))
+
+    # Shape assertions ----------------------------------------------------
+    t_r4, _ = measurements[4]["ripple"]
+    t_r24, _ = measurements[24]["ripple"]
+    t_s4, n_s4 = measurements[4]["select"]
+    t_s24, n_s24 = measurements[24]["select"]
+
+    # Ripple grows ~linearly: 6x the width, ~4-8x the delay.
+    assert 3.5 < t_r24 / t_r4 < 9.0
+    # Carry-select grows much more slowly than ripple.
+    assert (t_s24 / t_s4) < 0.6 * (t_r24 / t_r4)
+    # At 24 bits the select adder clearly wins ...
+    assert t_s24 < 0.7 * t_r24
+    # ... and pays for it in devices.
+    _, n_r24 = measurements[24]["ripple"]
+    assert n_s24 > 1.5 * n_r24

@@ -1,0 +1,94 @@
+"""Extension experiment E2 — the classic buffer-chain sizing study.
+
+A minimum inverter must drive a load hundreds of times its input
+capacitance.  The textbook result (contemporary with the paper) is a
+geometrically tapered chain with an optimum stage count: too few stages
+and the last one is crushed by the load; too many and the intrinsic
+delays pile up.
+
+This bench sweeps the stage count with the slope model and cross-checks
+the sweep's *shape* against the analog reference: both must show an
+interior optimum, at (nearly) the same stage count — a non-trivial
+validation because the optimum is created exactly by the slope effects
+the constant-R models cannot see.
+"""
+
+import pytest
+
+from repro.analog import delay_between, simulate, sources
+from repro.bench import format_series
+from repro.circuits import Gates
+from repro.core.timing import InputSpec, TimingAnalyzer
+from repro.netlist import Network
+from repro.tech import Transition
+
+LOAD = 2e-12  # ~300x a minimum gate's input capacitance
+STAGE_COUNTS = (1, 2, 3, 4, 6, 8)
+
+
+def tapered_chain(tech, stages):
+    """`stages` inverters with geometrically increasing size driving LOAD."""
+    net = Network(tech, name=f"buffer{stages}")
+    gates = Gates(net)
+    # Input capacitance of a unit inverter:
+    unit_cin = net.tech.params(list(net.tech.devices)[0]).gate_capacitance(
+        6e-6, 2e-6)
+    ratio = (LOAD / (20 * unit_cin)) ** (1.0 / stages)
+    ratio = max(ratio, 1.0)
+    previous = "in"
+    for i in range(1, stages + 1):
+        node = "out" if i == stages else f"n{i}"
+        gates.inverter(previous, node, size=ratio ** (i - 1))
+        previous = node
+    gates.load_cap("out", LOAD)
+    net.mark_input("in")
+    return net
+
+
+def _model_delay(tech, stages):
+    net = tapered_chain(tech, stages)
+    out_edge = Transition.RISE if stages % 2 == 0 else Transition.FALL
+    result = TimingAnalyzer(net).analyze(
+        {"in": InputSpec(arrival_rise=0.0, arrival_fall=None,
+                         slope=0.2e-9)})
+    return result.arrival("out", out_edge).time
+
+
+def _reference_delay(tech, stages):
+    net = tapered_chain(tech, stages)
+    out_edge = Transition.RISE if stages % 2 == 0 else Transition.FALL
+    result = simulate(
+        net, {"in": sources.edge(tech.vdd, rising=True, at=1e-9,
+                                 transition_time=0.2e-9)},
+        t_stop=80e-9, steps=2500)
+    return delay_between(result.waveform("in"), result.waveform("out"),
+                         tech.vdd, Transition.RISE, out_edge)
+
+
+def test_ext_buffer_sizing(benchmark, cmos_char, emit):
+    model = {n: _model_delay(cmos_char, n) for n in STAGE_COUNTS}
+    reference = {n: _reference_delay(cmos_char, n) for n in STAGE_COUNTS}
+
+    def render():
+        rows = [(n, reference[n], model[n],
+                 (model[n] - reference[n]) / reference[n])
+                for n in STAGE_COUNTS]
+        return format_series(
+            ["stages", "reference", "slope model", "model err"],
+            rows,
+            f"Extension E2: buffer chain into {LOAD * 1e12:.0f}pF")
+
+    emit("ext_buffer_sizing", benchmark(render))
+
+    best_model = min(STAGE_COUNTS, key=lambda n: model[n])
+    best_reference = min(STAGE_COUNTS, key=lambda n: reference[n])
+
+    # Interior optimum in both sweeps (not at either end).
+    assert best_reference not in (STAGE_COUNTS[0], STAGE_COUNTS[-1])
+    # The model finds (nearly) the same optimum.
+    index_m = STAGE_COUNTS.index(best_model)
+    index_r = STAGE_COUNTS.index(best_reference)
+    assert abs(index_m - index_r) <= 1
+    # Both sweeps actually punish the extremes.
+    assert reference[STAGE_COUNTS[0]] > 1.2 * reference[best_reference]
+    assert reference[STAGE_COUNTS[-1]] > 1.1 * reference[best_reference]

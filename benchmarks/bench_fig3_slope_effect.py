@@ -1,0 +1,88 @@
+"""Experiment F3 — delay vs input transition time.
+
+The figure that motivates the slope model: sweep the input edge of a
+single inverter from much faster to much slower than the stage's
+intrinsic time constant.  The measured delay grows strongly with the
+input transition time; constant-resistance models are flat lines by
+construction; the slope model tracks the reference across the sweep.
+"""
+
+from repro.analog import delay_between, simulate, sources
+from repro.bench import format_series
+from repro.circuits import inverter_chain
+from repro.core.models import LumpedRCModel, SlopeModel
+from repro.core.timing import InputSpec, TimingAnalyzer
+from repro.tech import Transition
+
+#: Input transition times as multiples of the stage's intrinsic tau.
+RATIOS = (0.1, 0.3, 1.0, 3.0, 10.0)
+
+
+def _intrinsic_tau(tech):
+    net = inverter_chain(tech, 1, load_cap=100e-15)
+    from repro.core.timing.paths import effective_node_cap
+    cap = effective_node_cap(net, "out")
+    from repro.tech import DeviceKind
+    resistance = tech.resistance(DeviceKind.NMOS_ENH, Transition.FALL,
+                                 6e-6, 2e-6)
+    return resistance * cap
+
+
+def _measure(tech, t_in):
+    net = inverter_chain(tech, 1, load_cap=100e-15)
+    result = simulate(
+        net,
+        {"in": sources.edge(tech.vdd, rising=True, at=max(2e-9, t_in),
+                            transition_time=t_in)},
+        t_stop=max(2e-9, t_in) + t_in + 25e-9,
+        steps=2500,
+    )
+    reference = delay_between(result.waveform("in"), result.waveform("out"),
+                              tech.vdd, Transition.RISE, Transition.FALL)
+    inputs = {"in": InputSpec(arrival_rise=0.0, arrival_fall=None,
+                              slope=t_in)}
+    estimates = {}
+    for model in (LumpedRCModel(), SlopeModel()):
+        analysis = TimingAnalyzer(net, model=model).analyze(inputs)
+        estimates[model.name] = analysis.arrival(
+            "out", Transition.FALL).time
+    return reference, estimates
+
+
+def test_fig3_slope_effect(benchmark, cmos_char, emit):
+    tau = _intrinsic_tau(cmos_char)
+    sweep = {r: _measure(cmos_char, r * tau) for r in RATIOS}
+
+    def render():
+        rows = []
+        for r in RATIOS:
+            reference, estimates = sweep[r]
+            rows.append((r, r * tau, reference, estimates["lumped-rc"],
+                         estimates["slope"]))
+        return format_series(
+            ["t_in / tau", "t_in (s)", "reference", "lumped-rc", "slope"],
+            rows,
+            "Figure F3: inverter delay vs input transition time")
+
+    emit("fig3_slope_effect", benchmark(render))
+
+    # Shape assertions ----------------------------------------------------
+    fast_ref, fast_est = sweep[RATIOS[0]]
+    slow_ref, slow_est = sweep[RATIOS[-1]]
+
+    # The real delay grows a lot with input slope ...
+    assert slow_ref > 2.0 * fast_ref
+    # ... the lumped model cannot see it (flat line) ...
+    assert abs(slow_est["lumped-rc"] - fast_est["lumped-rc"]) < 0.05 * slow_ref
+    # ... and the slope model tracks it closely at both ends.
+    assert abs(fast_est["slope"] - fast_ref) / fast_ref < 0.15
+    assert abs(slow_est["slope"] - slow_ref) / slow_ref < 0.15
+
+
+def test_fig3_lumped_error_grows(cmos_char):
+    tau = _intrinsic_tau(cmos_char)
+    fast_ref, fast_est = _measure(cmos_char, 0.1 * tau)
+    slow_ref, slow_est = _measure(cmos_char, 10.0 * tau)
+    fast_err = abs(fast_est["lumped-rc"] - fast_ref) / fast_ref
+    slow_err = abs(slow_est["lumped-rc"] - slow_ref) / slow_ref
+    assert slow_err > 2.0 * fast_err

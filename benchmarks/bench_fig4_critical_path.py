@@ -1,0 +1,63 @@
+"""Experiment F4 — Crystal-style critical-path report on a real datapath.
+
+The paper deployed the slope model inside Crystal and reported critical
+paths of full designs.  This bench runs the analyzer on an 8-bit
+ripple-carry adder, prints the stage-by-stage critical path (the carry
+chain), and checks the structural properties the paper relies on: the
+worst path ends at the carry-out/MSB sum, its arrival grows linearly with
+word width, and every hop of the report is causally consistent.
+"""
+
+from repro.bench import format_series
+from repro.circuits import adder_input_names, ripple_carry_adder
+from repro.core.timing import TimingAnalyzer, format_critical_path
+from repro.tech import Transition
+
+
+def _analyze_adder(tech, bits):
+    adder = ripple_carry_adder(tech, bits)
+    analyzer = TimingAnalyzer(adder)
+    return adder, analyzer.analyze(
+        {name: 0.0 for name in adder_input_names(bits)})
+
+
+def test_fig4_critical_path(benchmark, cmos_char, emit):
+    adder, result = _analyze_adder(cmos_char, 8)
+    outputs = [f"s{i}" for i in range(8)] + ["cout"]
+    event, arrival = result.worst(outputs)
+
+    report = format_critical_path(result, event.node, event.transition)
+    emit("fig4_critical_path", report)
+
+    # The worst path must end at the top of the carry chain.
+    assert event.node in ("cout", "s7")
+
+    # Causal consistency of every hop.
+    chain = result.critical_path(event.node, event.transition)
+    assert chain[0][1].is_primary
+    for (_, earlier), (_, later) in zip(chain, chain[1:]):
+        assert later.time >= earlier.time
+        assert later.stage_delay is not None
+
+    benchmark(lambda: _analyze_adder(cmos_char, 8))
+
+
+def test_fig4_arrival_scales_with_width(cmos_char, emit):
+    rows = []
+    worsts = {}
+    for bits in (2, 4, 8, 16):
+        _, result = _analyze_adder(cmos_char, bits)
+        outputs = [f"s{bits - 1}", "cout"]
+        _, arrival = result.worst(outputs)
+        worsts[bits] = arrival.time
+        rows.append((bits, arrival.time))
+    emit("fig4_scaling", format_series(
+        ["bits", "critical arrival (s)"], rows,
+        "Figure F4b: adder critical arrival vs word width"))
+
+    # Ripple carry: arrival ~ linear in width (ratio of ratios ~ 1).
+    growth_small = worsts[4] / worsts[2]
+    growth_large = worsts[16] / worsts[8]
+    assert worsts[16] > worsts[2]
+    assert 1.2 < growth_small < 3.5
+    assert 1.5 < growth_large < 2.6

@@ -1,0 +1,38 @@
+"""Experiment T1 — nMOS test circuits, three models vs the reference.
+
+Regenerates the paper's nMOS results table: per-circuit delay for the
+lumped-RC, RC-tree and slope models, with signed errors against the
+analog reference simulator.
+
+Expected shape (paper): the slope model's errors are small (single-digit
+to low-teens percent); the constant-resistance models miss by tens of
+percent, worst on slope-dominated gates and on pass chains.
+"""
+
+from repro.bench import format_comparison_table
+
+
+def test_table1_nmos(benchmark, nmos_rows, nmos_char, emit):
+    def render():
+        return format_comparison_table(
+            nmos_rows, "Table T1: nMOS test circuits (delay vs reference)")
+
+    table = benchmark(render)
+    emit("table1_nmos", table)
+
+    # Reproduction assertions: who wins, by roughly what factor.
+    slope_errors = [abs(r.estimate("slope").error) for r in nmos_rows]
+    lumped_errors = [abs(r.estimate("lumped-rc").error) for r in nmos_rows]
+    mean_slope = sum(slope_errors) / len(slope_errors)
+    mean_lumped = sum(lumped_errors) / len(lumped_errors)
+    assert mean_slope < 0.15, f"slope model mean error {mean_slope:.1%}"
+    assert mean_slope < 0.6 * mean_lumped, (
+        "slope model should clearly beat lumped RC")
+
+
+def test_table1_pass_chain_pessimism(nmos_rows):
+    """Lumped RC approaches 2x pessimism on the longest pass chain."""
+    row = next(r for r in nmos_rows if r.scenario == "pass-chain-8")
+    assert row.estimate("lumped-rc").error > 0.4
+    assert abs(row.estimate("rc-tree").error) < abs(
+        row.estimate("lumped-rc").error)

@@ -1,0 +1,29 @@
+"""Experiment T2 — CMOS test circuits, three models vs the reference.
+
+Regenerates the paper's CMOS results table (see bench_table1_nmos for the
+nMOS counterpart and the shape expectations)."""
+
+from repro.bench import format_comparison_table
+
+
+def test_table2_cmos(benchmark, cmos_rows, emit):
+    def render():
+        return format_comparison_table(
+            cmos_rows, "Table T2: CMOS test circuits (delay vs reference)")
+
+    table = benchmark(render)
+    emit("table2_cmos", table)
+
+    slope_errors = [abs(r.estimate("slope").error) for r in cmos_rows]
+    lumped_errors = [abs(r.estimate("lumped-rc").error) for r in cmos_rows]
+    mean_slope = sum(slope_errors) / len(slope_errors)
+    mean_lumped = sum(lumped_errors) / len(lumped_errors)
+    assert mean_slope < 0.12, f"slope model mean error {mean_slope:.1%}"
+    assert mean_slope < 0.5 * mean_lumped
+
+
+def test_table2_inverter_chain_slope_effect(cmos_rows):
+    """Constant-R models badly underestimate slope-dominated chains."""
+    row = next(r for r in cmos_rows if r.scenario == "inv-chain-4")
+    assert row.estimate("lumped-rc").error < -0.25
+    assert abs(row.estimate("slope").error) < 0.10

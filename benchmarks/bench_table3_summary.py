@@ -1,0 +1,31 @@
+"""Experiment T3 — aggregate model-error summary over both circuit suites.
+
+The paper's headline accuracy claim: the slope model averages ~10% error
+against circuit simulation across the test set, while the simpler models
+average several times that.
+"""
+
+from repro.bench import format_error_summary, summarize_errors
+
+
+def test_table3_summary(benchmark, nmos_rows, cmos_rows, emit):
+    def render():
+        return format_error_summary(
+            summarize_errors(list(nmos_rows) + list(cmos_rows)),
+            "Table T3: model error summary (nMOS + CMOS suites)")
+
+    table = benchmark(render)
+    emit("table3_summary", table)
+
+    summaries = {s.model: s for s in summarize_errors(
+        list(nmos_rows) + list(cmos_rows))}
+    slope = summaries["slope"]
+    lumped = summaries["lumped-rc"]
+    rc_tree = summaries["rc-tree"]
+
+    # Paper shape: slope ~10% mean, constant-R models several times worse.
+    assert slope.mean_abs_error < 0.15
+    assert lumped.mean_abs_error > 2.0 * slope.mean_abs_error
+    assert rc_tree.mean_abs_error > 1.3 * slope.mean_abs_error
+    # Lumped RC's worst case approaches a factor of two.
+    assert lumped.max_abs_error > 0.5

@@ -1,0 +1,87 @@
+"""Experiment T4 — analyzer speed and scaling vs circuit simulation.
+
+Crystal's selling point: switch-level timing analysis of whole chips in
+minutes, versus circuit simulation that is infeasible beyond small blocks.
+We time a full two-edge timing analysis of ripple-carry adders (4..32
+bits) and decoders against a short transient of the same netlists, and
+mark the sizes where the dense-matrix reference simulator is no longer
+reasonable — the same wall the paper's authors hit with SPICE.
+
+Expected shape: the analyzer's runtime grows roughly linearly with device
+count; the simulator's superlinearly; speedups of orders of magnitude on
+the sizes where both can run.
+"""
+
+import pytest
+
+from repro.analog import sources
+from repro.bench import RuntimeRow, format_runtime_table, runtime_comparison
+from repro.circuits import adder_input_names, decoder, ripple_carry_adder
+
+#: Largest adder the dense reference simulator is asked to chew on.
+MAX_SIMULATED_BITS = 8
+
+
+def _adder_timing_inputs(bits):
+    return {name: 0.0 for name in adder_input_names(bits)}
+
+
+def _adder_drives(tech, bits):
+    drives = {"cin": sources.edge(tech.vdd, rising=True, at=1e-9,
+                                  transition_time=0.5e-9)}
+    for bit in range(bits):
+        drives[f"a{bit}"] = tech.vdd
+        drives[f"b{bit}"] = 0.0
+    return drives
+
+
+def test_table4_runtime(benchmark, cmos_char, emit):
+    rows = []
+    for bits in (4, 8, 16, 32):
+        adder = ripple_carry_adder(cmos_char, bits)
+        rows.append(runtime_comparison(
+            adder,
+            timing_inputs=_adder_timing_inputs(bits),
+            drives=_adder_drives(cmos_char, bits),
+            t_stop=40e-9,
+            simulate_reference=bits <= MAX_SIMULATED_BITS,
+        ))
+    dec = decoder(cmos_char, 5)
+    rows.append(runtime_comparison(
+        dec,
+        timing_inputs={f"a{i}": 0.0 for i in range(5)},
+        simulate_reference=False,
+    ))
+
+    table = format_runtime_table(
+        rows, "Table T4: timing analysis vs transient simulation")
+    emit("table4_runtime", table)
+
+    # Reproduction assertions -------------------------------------------
+    simulated = [r for r in rows if r.speedup is not None]
+    assert simulated, "at least one size must run both ways"
+    assert min(r.speedup for r in simulated) > 5, (
+        "switch-level analysis should be orders of magnitude faster")
+
+    # Rough linear scaling of the analyzer: runtime per device within a
+    # modest factor across a many-fold size range (generous: wall-clock
+    # noise on shared machines).
+    adder_rows = [r for r in rows if r.circuit.startswith("rca")]
+    per_device = [r.analyzer_seconds / r.transistors for r in adder_rows]
+    assert max(per_device) < 25 * min(per_device), per_device
+
+    benchmark(lambda: runtime_comparison(
+        ripple_carry_adder(cmos_char, 8),
+        timing_inputs=_adder_timing_inputs(8),
+        simulate_reference=False,
+    ))
+
+
+def test_table4_analyzer_only_scaling(cmos_char):
+    """The analyzer handles chip-scale (thousands of devices) netlists."""
+    adder = ripple_carry_adder(cmos_char, 48)
+    row = runtime_comparison(adder,
+                             timing_inputs=_adder_timing_inputs(48),
+                             simulate_reference=False)
+    assert row.transistors > 2000
+    assert row.analyzer_seconds < 120.0

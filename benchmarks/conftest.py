@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Characterized technologies and the T1/T2 comparison rows are expensive
+(tens of analog transients each), so they are computed once per session
+and shared across bench files.  Every bench prints its table/series to
+stdout (run ``pytest benchmarks/ --benchmark-only -s`` to see them) and
+also writes it under ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import cmos_scenarios, nmos_scenarios, run_suite
+from repro.core.models import characterize_technology
+from repro.tech import CMOS3, NMOS4
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def cmos_char():
+    return characterize_technology(CMOS3)
+
+
+@pytest.fixture(scope="session")
+def nmos_char():
+    return characterize_technology(NMOS4)
+
+
+@pytest.fixture(scope="session")
+def cmos_rows(cmos_char):
+    return run_suite(cmos_scenarios(cmos_char))
+
+
+@pytest.fixture(scope="session")
+def nmos_rows(nmos_char):
+    return run_suite(nmos_scenarios(nmos_char))
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

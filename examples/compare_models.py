@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Model shoot-out on the paper's test circuits.
+
+Reproduces the heart of the paper's evaluation interactively: runs the
+nMOS or CMOS scenario suite (analog reference + all three delay models)
+and prints the comparison table and error summary.
+
+Run:  python examples/compare_models.py [nmos|cmos]
+"""
+
+import sys
+
+from repro import NMOS4, CMOS3, characterize_technology
+from repro.bench import (
+    cmos_scenarios,
+    format_comparison_table,
+    format_error_summary,
+    nmos_scenarios,
+    run_suite,
+    summarize_errors,
+)
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "cmos"
+    if which not in ("nmos", "cmos"):
+        raise SystemExit("usage: compare_models.py [nmos|cmos]")
+
+    if which == "nmos":
+        print("characterizing nmos4 (a minute or so the first time) ...")
+        tech = characterize_technology(NMOS4)
+        scenarios = nmos_scenarios(tech)
+        title = "nMOS test circuits (paper Table 1 reconstruction)"
+    else:
+        print("characterizing cmos3 (a minute or so the first time) ...")
+        tech = characterize_technology(CMOS3)
+        scenarios = cmos_scenarios(tech)
+        title = "CMOS test circuits (paper Table 2 reconstruction)"
+
+    print(f"running {len(scenarios)} scenarios "
+          "(each = one transient + three analyses) ...\n")
+    rows = run_suite(scenarios)
+    print(format_comparison_table(rows, title))
+    print()
+    print(format_error_summary(summarize_errors(rows),
+                               "error summary (vs analog reference)"))
+    print("\nreading the table: the slope model should sit within ~10% of "
+          "the\nreference almost everywhere; the constant-resistance models "
+          "miss by\ntens of percent — worst on slope-dominated chains "
+          "(underestimates) and\non pass chains (lumped RC approaches 2x "
+          "pessimism).")
+
+
+if __name__ == "__main__":
+    main()

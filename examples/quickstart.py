@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: time a small circuit three ways.
+
+Builds a 4-stage CMOS inverter chain, runs the three delay models of the
+paper through the Crystal-style analyzer, and cross-checks the slope model
+against the analog reference simulator — the whole reproduction in forty
+lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CMOS3,
+    LumpedRCModel,
+    RCTreeModel,
+    SlopeModel,
+    Transition,
+    analyze,
+    characterize_technology,
+    delay_between,
+    inverter_chain,
+    simulate,
+)
+from repro.analog import sources
+from repro.core.timing import InputSpec, format_critical_path
+
+
+def main() -> None:
+    # 1. Characterize the technology (fits slope tables against the
+    #    built-in analog simulator; cached, so this is a one-time cost).
+    print("characterizing cmos3 ...")
+    tech = characterize_technology(CMOS3)
+
+    # 2. Build a circuit.
+    chain = inverter_chain(tech, stages=4)
+    print(chain.summary())
+
+    # 3. Static timing with each delay model.
+    input_slope = 0.5e-9
+    spec = {"in": InputSpec(arrival_rise=0.0, arrival_fall=None,
+                            slope=input_slope)}
+    print("\nmodel estimates for out(rise):")
+    for model in (LumpedRCModel(), RCTreeModel(), SlopeModel()):
+        result = analyze(chain, spec, model=model)
+        arrival = result.arrival("out", Transition.RISE)
+        print(f"  {model.name:10s} {arrival.time * 1e9:7.3f} ns")
+
+    # 4. The analog reference (the stand-in for SPICE).
+    analog = simulate(
+        chain,
+        {"in": sources.edge(tech.vdd, rising=True, at=2e-9,
+                            transition_time=input_slope)},
+        t_stop=30e-9,
+    )
+    reference = delay_between(analog.waveform("in"), analog.waveform("out"),
+                              tech.vdd, Transition.RISE, Transition.RISE)
+    print(f"  {'reference':10s} {reference * 1e9:7.3f} ns")
+
+    # 5. A Crystal-style critical-path report.
+    print()
+    result = analyze(chain, spec, model=SlopeModel())
+    print(format_critical_path(result, "out", Transition.RISE))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Analog reference simulator (MNA + level-1 MOS + trapezoidal transient)."""
+
+from . import mosfet, sources
+from .mna import AnalogProblem
+from .dc import solve_dc
+from .simulator import operating_point, simulate
+from .transient import TransientResult, simulate_transient
+from .waveform import Waveform, delay_between, ramp_waveform, sample_uniform
+
+__all__ = [
+    "mosfet",
+    "sources",
+    "AnalogProblem",
+    "solve_dc",
+    "operating_point",
+    "simulate",
+    "TransientResult",
+    "simulate_transient",
+    "Waveform",
+    "delay_between",
+    "ramp_waveform",
+    "sample_uniform",
+]

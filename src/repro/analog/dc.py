@@ -1,0 +1,70 @@
+"""DC operating-point analysis.
+
+Finds the static solution of an :class:`~repro.analog.mna.AnalogProblem`
+with all capacitors open.  Plain Newton from a midpoint guess handles most
+digital circuits; when it stalls, *gmin stepping* (solving a sequence of
+progressively less-leaky problems, warm-starting each from the last) almost
+always rescues it — the same strategy SPICE uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError, SimulationError
+from .mna import AnalogProblem
+
+#: gmin ladder used when the direct solve fails (S to ground per node).
+GMIN_LADDER = (1e-3, 1e-5, 1e-7, 1e-9, 1e-12)
+
+
+def solve_dc(problem: AnalogProblem, t: float = 0.0,
+             initial_guess: Optional[Mapping[str, float]] = None,
+             abstol: float = 5e-5) -> Dict[str, float]:
+    """Operating point at time *t* (drives evaluated at that instant).
+
+    Returns a complete node→voltage map including driven nodes.  An
+    *initial_guess* maps node names to starting voltages; unspecified
+    unknowns start at half the supply.
+    """
+    x0 = np.full(problem.size, 0.5 * problem.tech.vdd)
+    if initial_guess:
+        for name, value in initial_guess.items():
+            index = problem.index_of(name)
+            if index is not None:
+                x0[index] = value
+
+    x = _solve_with_fallback(problem, x0, t, abstol)
+    result = {name: float(x[i]) for i, name in enumerate(problem.unknowns)}
+    for name in problem.drives:
+        result[name] = problem.drive_voltage(name, t)
+    return result
+
+
+def _solve_with_fallback(problem: AnalogProblem, x0: np.ndarray, t: float,
+                         abstol: float) -> np.ndarray:
+    try:
+        return problem.newton_solve(x0, t, cap_terms=None, abstol=abstol,
+                                    max_iterations=300)
+    except SimulationError:
+        pass
+
+    # gmin stepping: temporarily raise the leak conductance, then relax it.
+    saved_gmin = problem.gmin
+    x = x0
+    try:
+        for gmin in GMIN_LADDER:
+            problem.gmin = max(gmin, saved_gmin)
+            try:
+                x = problem.newton_solve(x, t, cap_terms=None, abstol=abstol,
+                                         max_iterations=400, damping=0.5)
+            except SimulationError as exc:
+                raise ConvergenceError(
+                    f"DC operating point failed at gmin={gmin:g}: {exc}",
+                    time=t,
+                ) from exc
+        return x
+    finally:
+        problem.gmin = saved_gmin

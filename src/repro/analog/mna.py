@@ -1,0 +1,261 @@
+"""Nodal-analysis assembly for the reference simulator.
+
+The simulator uses *reduced* nodal analysis: externally driven nodes (the
+rails and any node with a drive waveform) are eliminated rather than given
+MNA branch rows — their voltages are known functions of time, so their
+terms move to the right-hand side.  This keeps the system matrix small,
+symmetric in structure, and never singular because of source loops.
+
+:class:`AnalogProblem` owns the node indexing and the per-iteration stamp
+loop; the integrators in :mod:`repro.analog.transient` and
+:mod:`repro.analog.dc` drive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..netlist import GND, VDD, Network
+from ..tech import DeviceKind
+from . import mosfet
+from .sources import DC, AnyDrive, DriveWaveform, as_drive
+
+
+@dataclass(frozen=True)
+class _Device:
+    """A MOSFET prepared for stamping: terminal indexes resolved."""
+
+    params: object
+    width: float
+    length: float
+    gate: str
+    source: str
+    drain: str
+    bulk: str
+
+
+@dataclass(frozen=True)
+class _TwoTerminalCap:
+    node_a: str
+    node_b: str  # may be GND for grounded caps
+    capacitance: float
+
+
+class AnalogProblem:
+    """A network plus drive waveforms, ready for numerical analysis."""
+
+    def __init__(self, network: Network, drives: Mapping[str, AnyDrive],
+                 gmin: float = 1e-12):
+        self.network = network
+        self.tech = network.tech
+        self.gmin = gmin
+
+        self.drives: Dict[str, DriveWaveform] = {
+            VDD: DC(self.tech.vdd),
+            GND: DC(0.0),
+        }
+        for name, drive in drives.items():
+            node = network.node(name)
+            if node.is_supply:
+                raise SimulationError(
+                    f"cannot attach a drive to supply rail {node.name!r}"
+                )
+            self.drives[node.name] = as_drive(drive)
+
+        undriven_inputs = [
+            n.name for n in network.inputs() if n.name not in self.drives
+        ]
+        if undriven_inputs:
+            raise SimulationError(
+                "primary inputs without drive waveforms: "
+                + ", ".join(sorted(undriven_inputs))
+            )
+
+        #: Unknown nodes, in deterministic order.
+        self.unknowns: List[str] = [
+            n.name for n in network.nodes if n.name not in self.drives
+        ]
+        self._index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.unknowns)
+        }
+        self.size = len(self.unknowns)
+
+        # Prepared element lists -------------------------------------------
+        self._resistors: List[Tuple[str, str, float]] = [
+            (r.node_a, r.node_b, 1.0 / r.resistance)
+            for r in network.resistors
+        ]
+        self.capacitors: List[_TwoTerminalCap] = []
+        for name in self.unknowns:
+            grounded = network.node_capacitance(name)
+            if grounded > 0:
+                self.capacitors.append(_TwoTerminalCap(name, GND, grounded))
+        for cap in network.capacitors:
+            self.capacitors.append(
+                _TwoTerminalCap(cap.node_a, cap.node_b, cap.capacitance))
+
+        self._devices: List[_Device] = []
+        for device in network.transistors:
+            bulk = VDD if device.kind is DeviceKind.PMOS else GND
+            self._devices.append(_Device(
+                params=self.tech.params(device.kind),
+                width=device.width,
+                length=device.length,
+                gate=device.gate,
+                source=device.source,
+                drain=device.drain,
+                bulk=bulk,
+            ))
+
+    # ------------------------------------------------------------------
+
+    def index_of(self, node: str) -> Optional[int]:
+        """Unknown-vector index of a node, or None when it is driven."""
+        return self._index.get(node)
+
+    def drive_voltage(self, node: str, t: float) -> float:
+        return self.drives[node].voltage(t)
+
+    def voltage(self, node: str, x: np.ndarray, t: float) -> float:
+        index = self._index.get(node)
+        if index is not None:
+            return float(x[index])
+        return self.drives[node].voltage(t)
+
+    def breakpoints(self) -> List[float]:
+        times = set()
+        for drive in self.drives.values():
+            times.update(drive.breakpoints())
+        return sorted(times)
+
+    # ------------------------------------------------------------------
+    # Stamping
+    # ------------------------------------------------------------------
+
+    def _stamp_conductance(self, matrix: np.ndarray, rhs: np.ndarray,
+                           node_a: str, node_b: str, g: float,
+                           x: np.ndarray, t: float) -> None:
+        """Stamp a linear conductance between two nodes, handling driven
+        terminals by moving their (known) voltage to the RHS."""
+        ia = self._index.get(node_a)
+        ib = self._index.get(node_b)
+        if ia is not None:
+            matrix[ia, ia] += g
+            if ib is not None:
+                matrix[ia, ib] -= g
+            else:
+                rhs[ia] += g * self.drive_voltage(node_b, t)
+        if ib is not None:
+            matrix[ib, ib] += g
+            if ia is not None:
+                matrix[ib, ia] -= g
+            else:
+                rhs[ib] += g * self.drive_voltage(node_a, t)
+
+    def _stamp_current(self, rhs: np.ndarray, node: str, value: float) -> None:
+        """Stamp a current *into* a node."""
+        index = self._index.get(node)
+        if index is not None:
+            rhs[index] += value
+
+    def assemble(self, x: np.ndarray, t: float,
+                 cap_terms: Optional[Sequence[Tuple[float, float]]] = None
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Build the linearized system ``G v = b`` at iterate *x*, time *t*.
+
+        *cap_terms* supplies, per entry of :attr:`capacitors`, the companion
+        model ``(g_eq, i_eq)``: a conductance between the cap's terminals and
+        a current ``i_eq`` injected into ``node_a`` (and drawn from
+        ``node_b``).  ``None`` means DC analysis: capacitors are open.
+        """
+        n = self.size
+        matrix = np.zeros((n, n))
+        rhs = np.zeros(n)
+
+        # gmin keeps otherwise-floating nodes (charge storage) well posed.
+        for i in range(n):
+            matrix[i, i] += self.gmin
+
+        for node_a, node_b, g in self._resistors:
+            self._stamp_conductance(matrix, rhs, node_a, node_b, g, x, t)
+
+        if cap_terms is not None:
+            if len(cap_terms) != len(self.capacitors):
+                raise SimulationError("cap_terms length mismatch")
+            for cap, (g_eq, i_eq) in zip(self.capacitors, cap_terms):
+                if g_eq:
+                    self._stamp_conductance(matrix, rhs, cap.node_a,
+                                            cap.node_b, g_eq, x, t)
+                if i_eq:
+                    self._stamp_current(rhs, cap.node_a, i_eq)
+                    self._stamp_current(rhs, cap.node_b, -i_eq)
+
+        for dev in self._devices:
+            vg = self.voltage(dev.gate, x, t)
+            vs = self.voltage(dev.source, x, t)
+            vd = self.voltage(dev.drain, x, t)
+            vb = self.voltage(dev.bulk, x, t)
+            op = mosfet.evaluate(dev.params, dev.width, dev.length,
+                                 vg, vs, vd, vb)
+            # Newton companion: current into drain linearized around
+            # (vg, vs, vd).  Row contributions:
+            #   drain:  +I;   source: -I
+            # with I ~ I0 + gg*(Vg - vg) + gs*(Vs - vs) + gd*(Vd - vd).
+            terms = ((dev.gate, op.g_gate), (dev.source, op.g_source),
+                     (dev.drain, op.g_drain))
+            i_const = op.current - (op.g_gate * vg + op.g_source * vs +
+                                    op.g_drain * vd)
+            i_drain = self._index.get(dev.drain)
+            i_source = self._index.get(dev.source)
+            for sign, row in ((+1.0, i_drain), (-1.0, i_source)):
+                if row is None:
+                    continue
+                rhs[row] -= sign * i_const
+                for node, g in terms:
+                    col = self._index.get(node)
+                    if col is not None:
+                        matrix[row, col] += sign * g
+                    else:
+                        rhs[row] -= sign * g * self.drive_voltage(node, t)
+        return matrix, rhs
+
+    # ------------------------------------------------------------------
+    # Newton iteration shared by DC and transient analyses
+    # ------------------------------------------------------------------
+
+    def newton_solve(self, x0: np.ndarray, t: float,
+                     cap_terms: Optional[Sequence[Tuple[float, float]]],
+                     abstol: float = 5e-5, max_iterations: int = 80,
+                     damping: float = 1.0) -> np.ndarray:
+        """Solve the nonlinear system by damped Newton iteration.
+
+        Returns the converged unknown vector; raises
+        :class:`~repro.errors.SimulationError` (wrapped by callers into
+        :class:`~repro.errors.ConvergenceError` with time context) when the
+        iteration stalls.
+        """
+        x = x0.copy()
+        if self.size == 0:
+            return x
+        for _ in range(max_iterations):
+            matrix, rhs = self.assemble(x, t, cap_terms)
+            try:
+                new_x = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(f"singular system: {exc}") from exc
+            delta = new_x - x
+            worst = float(np.max(np.abs(delta)))
+            # Per-component voltage limiting: each node moves at most
+            # `damping` volts per iterate (a global scale would let one
+            # wild node stall every other node's progress).
+            np.clip(delta, -damping, damping, out=delta)
+            x = x + delta
+            if worst < abstol:
+                return x
+        raise SimulationError(
+            f"Newton iteration did not converge (|dV|={worst:.3g}V)"
+        )

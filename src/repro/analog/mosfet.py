@@ -1,0 +1,140 @@
+"""Shichman-Hodges (SPICE level-1) MOSFET evaluation.
+
+The reference simulator needs, for each device and each Newton iteration,
+the channel current and its partial derivatives with respect to the three
+terminal voltages.  This module evaluates the classic level-1 equations
+with:
+
+* automatic source/drain swapping (the channel is symmetric),
+* p-channel handling by sign reflection,
+* optional body effect (``gamma``) with the bulk at the appropriate rail,
+* channel-length modulation (``lambda``).
+
+Currents follow the convention: :attr:`MOSOperatingPoint.current` is the
+current flowing **into the drain terminal and out of the source terminal**
+as the terminals are named in the netlist.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..tech import DeviceKind, DeviceParams
+
+
+@dataclass(frozen=True)
+class MOSOperatingPoint:
+    """Linearized device state at one Newton iterate.
+
+    ``current`` is I(drain→channel→source); the ``g_*`` entries are the
+    partial derivatives of that current with respect to the *netlist*
+    terminal voltages (gate, source, drain).
+    """
+
+    current: float
+    g_gate: float
+    g_source: float
+    g_drain: float
+    region: str  # "cutoff" | "linear" | "saturation"
+
+
+def _level1_ntype(beta: float, vt: float, lam: float, vgs: float,
+                  vds: float):
+    """Level-1 equations for an n-type device with ``vds >= 0``.
+
+    Returns ``(ids, gm, gds, region)`` where ``gm = dI/dVgs`` and
+    ``gds = dI/dVds``.
+    """
+    vov = vgs - vt
+    if vov <= 0.0:
+        return 0.0, 0.0, 0.0, "cutoff"
+    clm = 1.0 + lam * vds
+    if vds < vov:
+        ids = beta * (vov * vds - 0.5 * vds * vds) * clm
+        gm = beta * vds * clm
+        gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * lam
+        return ids, gm, gds, "linear"
+    ids = 0.5 * beta * vov * vov * clm
+    gm = beta * vov * clm
+    gds = 0.5 * beta * vov * vov * lam
+    return ids, gm, gds, "saturation"
+
+
+def _threshold(params: DeviceParams, vsb: float) -> float:
+    """Threshold voltage including body effect (n-type frame)."""
+    if params.gamma <= 0.0:
+        return params.vt0
+    phi = max(params.phi, 1e-3)
+    vsb_eff = max(vsb, -phi + 1e-6)
+    return params.vt0 + params.gamma * (
+        math.sqrt(phi + vsb_eff) - math.sqrt(phi))
+
+
+def evaluate(params: DeviceParams, width: float, length: float,
+             v_gate: float, v_source: float, v_drain: float,
+             v_bulk: float = 0.0) -> MOSOperatingPoint:
+    """Evaluate a device at the given absolute terminal voltages."""
+    beta = params.beta(width, length)
+    p_type = params.kind is DeviceKind.PMOS
+    sign = -1.0 if p_type else 1.0
+
+    # Reflect p-channel devices into the n-type frame.
+    vg = sign * v_gate
+    vs = sign * v_source
+    vd = sign * v_drain
+    vb = sign * v_bulk
+    vt0 = sign * params.vt0  # PMOS vt0 is negative; reflected it is positive
+    # Depletion devices keep their (negative) threshold as-is in n-frame.
+    if params.kind is DeviceKind.NMOS_DEP:
+        vt0 = params.vt0
+
+    swapped = vd < vs
+    if swapped:
+        vs, vd = vd, vs
+
+    vsb = vs - vb
+    vt = vt0 if params.gamma <= 0 else (
+        vt0 + _threshold(params, vsb) - params.vt0)
+
+    ids, gm, gds, region = _level1_ntype(beta, vt, params.lam, vg - vs, vd - vs)
+
+    # Partial derivatives in the (possibly swapped) n-frame:
+    #   I = I(vgs, vds);   dI/dvg = gm;  dI/dvd = gds;  dI/dvs = -gm - gds.
+    d_vg = gm
+    d_vd = gds
+    d_vs = -gm - gds
+
+    if swapped:
+        # Current direction flips back to the netlist drain->source sense,
+        # and the roles of the two channel terminals exchange.
+        ids = -ids
+        d_vg = -d_vg
+        d_vs, d_vd = -d_vd, -d_vs
+
+    if p_type:
+        # Undo the voltage reflection: I_netlist = -I_frame(v -> -v), so the
+        # current negates and each derivative picks up two sign flips
+        # (one from the current, one from the chain rule), i.e. stays put —
+        # except the current itself.
+        ids = -ids
+
+    return MOSOperatingPoint(
+        current=ids,
+        g_gate=d_vg,
+        g_source=d_vs,
+        g_drain=d_vd,
+        region=region,
+    )
+
+
+def conducts(params: DeviceParams, v_gate: float, v_source: float,
+             v_drain: float) -> bool:
+    """Rough static conduction test (used by validation heuristics)."""
+    op = evaluate(params, 1e-6, 1e-6, v_gate, v_source, v_drain)
+    if op.region != "cutoff":
+        return True
+    # A device exactly at VDS = 0 reports zero current regardless of the
+    # gate; probe its small-signal conductance instead.
+    probe = evaluate(params, 1e-6, 1e-6, v_gate, v_source, v_drain + 1e-3)
+    return probe.region != "cutoff"

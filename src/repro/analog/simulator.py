@@ -1,0 +1,64 @@
+"""High-level analog simulation API.
+
+This is the "SPICE" of the reproduction: the accuracy reference every
+switch-level delay model is judged against (see DESIGN.md for the
+substitution rationale).  Typical use::
+
+    from repro.analog import simulate, sources
+
+    result = simulate(
+        network,
+        drives={"a": sources.edge(vdd=5.0, rising=True, at=1e-9,
+                                  transition_time=0.5e-9)},
+        t_stop=20e-9,
+    )
+    out = result.waveform("y")
+    delay = delay_between(result.waveform("a"), out, vdd=5.0,
+                          input_edge=Transition.RISE,
+                          output_edge=Transition.FALL)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..netlist import Network
+from .mna import AnalogProblem
+from .sources import AnyDrive
+from .dc import solve_dc
+from .transient import TransientResult, simulate_transient
+
+
+def simulate(network: Network, drives: Mapping[str, AnyDrive], t_stop: float,
+             steps: int = 2000,
+             initial_conditions: Optional[Mapping[str, float]] = None,
+             use_ic_only: bool = False,
+             method: str = "trap",
+             gmin: float = 1e-12) -> TransientResult:
+    """Run a transient analysis of *network*.
+
+    Parameters
+    ----------
+    drives:
+        Node → drive waveform (or plain voltage for DC).  All primary
+        inputs of the network must appear; the rails are implicit.
+    t_stop:
+        End time of the analysis (seconds).
+    steps:
+        Nominal number of uniform timesteps (source corners are added).
+    initial_conditions:
+        Node → voltage overrides applied after (or instead of, with
+        ``use_ic_only``) the initial operating point.
+    """
+    problem = AnalogProblem(network, drives, gmin=gmin)
+    return simulate_transient(problem, t_stop, steps=steps,
+                              initial_conditions=initial_conditions,
+                              use_ic_only=use_ic_only, method=method)
+
+
+def operating_point(network: Network, drives: Mapping[str, AnyDrive],
+                    initial_guess: Optional[Mapping[str, float]] = None,
+                    gmin: float = 1e-12):
+    """DC node voltages with all drives evaluated at t=0."""
+    problem = AnalogProblem(network, drives, gmin=gmin)
+    return solve_dc(problem, t=0.0, initial_guess=initial_guess)

@@ -1,0 +1,195 @@
+"""Drive waveforms for externally driven nodes.
+
+Every primary input of a simulation is driven by a :class:`DriveWaveform`:
+an object that returns the forced voltage at any time and exposes its
+*breakpoints* (times where the waveform has corners) so the transient
+engine can land timesteps exactly on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+from ..errors import SimulationError
+from ..netlist.spice_format import StimulusSpec
+
+
+class DriveWaveform:
+    """Interface: a forced node voltage as a function of time."""
+
+    def voltage(self, t: float) -> float:
+        raise NotImplementedError
+
+    def breakpoints(self) -> Tuple[float, ...]:
+        """Times at which the waveform's derivative is discontinuous."""
+        return ()
+
+
+@dataclass(frozen=True)
+class DC(DriveWaveform):
+    """A constant level."""
+
+    value: float
+
+    def voltage(self, t: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Ramp(DriveWaveform):
+    """A single linear edge from *v_from* to *v_to*.
+
+    ``duration == 0`` is accepted and treated as an ideal step at
+    ``t_start``.
+    """
+
+    v_from: float
+    v_to: float
+    t_start: float = 0.0
+    duration: float = 0.0
+
+    def voltage(self, t: float) -> float:
+        if t <= self.t_start:
+            return self.v_from
+        if self.duration <= 0 or t >= self.t_start + self.duration:
+            return self.v_to
+        frac = (t - self.t_start) / self.duration
+        return self.v_from + frac * (self.v_to - self.v_from)
+
+    def breakpoints(self) -> Tuple[float, ...]:
+        if self.duration <= 0:
+            return (self.t_start,)
+        return (self.t_start, self.t_start + self.duration)
+
+
+@dataclass(frozen=True)
+class Pulse(DriveWaveform):
+    """SPICE PULSE: v1 → v2 with delay, rise, fall, width and period.
+
+    A period of 0 (or None) gives a single pulse.
+    """
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 0.0
+    fall: float = 0.0
+    width: float = 0.0
+    period: float = 0.0
+
+    def _phase(self, t: float) -> float:
+        local = t - self.delay
+        if local < 0:
+            return -1.0
+        if self.period > 0:
+            return local % self.period
+        return local
+
+    def voltage(self, t: float) -> float:
+        local = self._phase(t)
+        if local < 0:
+            return self.v1
+        if local < self.rise:
+            if self.rise <= 0:
+                return self.v2
+            return self.v1 + (self.v2 - self.v1) * local / self.rise
+        local -= self.rise
+        if local < self.width:
+            return self.v2
+        local -= self.width
+        if local < self.fall:
+            if self.fall <= 0:
+                return self.v1
+            return self.v2 + (self.v1 - self.v2) * local / self.fall
+        return self.v1
+
+    def breakpoints(self) -> Tuple[float, ...]:
+        corners = [self.delay,
+                   self.delay + self.rise,
+                   self.delay + self.rise + self.width,
+                   self.delay + self.rise + self.width + self.fall]
+        if self.period > 0:
+            expanded = []
+            for cycle in range(16):  # enough periods for any test window
+                expanded.extend(c + cycle * self.period for c in corners)
+            corners = expanded
+        return tuple(corners)
+
+
+@dataclass(frozen=True)
+class PWL(DriveWaveform):
+    """Piecewise-linear waveform from ``(time, voltage)`` points."""
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise SimulationError("PWL needs at least one point")
+        previous = -float("inf")
+        for time, _ in self.points:
+            if time <= previous:
+                raise SimulationError("PWL times must be strictly increasing")
+            previous = time
+
+    def voltage(self, t: float) -> float:
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if t <= t1:
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        return points[-1][1]
+
+    def breakpoints(self) -> Tuple[float, ...]:
+        return tuple(t for t, _ in self.points)
+
+
+AnyDrive = Union[DriveWaveform, float, int]
+
+
+def as_drive(value: AnyDrive) -> DriveWaveform:
+    """Coerce a plain number to a DC drive."""
+    if isinstance(value, DriveWaveform):
+        return value
+    if isinstance(value, (int, float)):
+        return DC(float(value))
+    raise SimulationError(f"cannot interpret {value!r} as a drive waveform")
+
+
+def from_spec(spec: StimulusSpec) -> DriveWaveform:
+    """Build a drive waveform from a parsed SPICE stimulus spec."""
+    if spec.kind == "dc":
+        return DC(spec.values[0])
+    if spec.kind == "pulse":
+        padded = list(spec.values) + [0.0] * (7 - len(spec.values))
+        if len(spec.values) < 2:
+            raise SimulationError("PULSE needs at least v1 and v2")
+        v1, v2, delay, rise, fall, width, period = padded[:7]
+        return Pulse(v1=v1, v2=v2, delay=delay, rise=rise, fall=fall,
+                     width=width, period=period)
+    if spec.kind == "pwl":
+        values = spec.values
+        if len(values) < 2 or len(values) % 2:
+            raise SimulationError("PWL needs an even number of values")
+        points = tuple(zip(values[0::2], values[1::2]))
+        return PWL(points=points)
+    raise SimulationError(f"unknown stimulus kind {spec.kind!r}")
+
+
+def step_up(vdd: float, at: float = 0.0) -> Ramp:
+    """Ideal 0 → Vdd step."""
+    return Ramp(v_from=0.0, v_to=vdd, t_start=at, duration=0.0)
+
+
+def step_down(vdd: float, at: float = 0.0) -> Ramp:
+    """Ideal Vdd → 0 step."""
+    return Ramp(v_from=vdd, v_to=0.0, t_start=at, duration=0.0)
+
+
+def edge(vdd: float, rising: bool, at: float = 0.0,
+         transition_time: float = 0.0) -> Ramp:
+    """A single edge with the given full-swing transition time."""
+    if rising:
+        return Ramp(0.0, vdd, t_start=at, duration=transition_time)
+    return Ramp(vdd, 0.0, t_start=at, duration=transition_time)

@@ -1,0 +1,180 @@
+"""Transient analysis.
+
+A fixed-grid integrator with source breakpoints folded into the grid and
+automatic sub-stepping on Newton failures.  Capacitors use companion models:
+
+* **backward Euler** — ``i = (C/h)(v1 - v0)``; L-stable, used for the first
+  step after every waveform corner;
+* **trapezoidal** — ``i1 = (2C/h)(v1 - v0) - i0``; second-order accurate,
+  used everywhere else (the SPICE default).
+
+The step count defaults to ~2000 points over the run, which resolves the
+nanosecond-scale edges of the paper's circuits to a few picoseconds after
+interpolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError, SimulationError
+from .dc import solve_dc
+from .mna import AnalogProblem
+from .waveform import Waveform
+
+
+@dataclass
+class TransientResult:
+    """All node waveforms of one transient run."""
+
+    problem: AnalogProblem
+    times: np.ndarray
+    voltages: Dict[str, np.ndarray]
+
+    def waveform(self, node: str) -> Waveform:
+        from ..netlist import canonical_name
+        name = canonical_name(node)
+        try:
+            return Waveform(self.times, self.voltages[name], name=name)
+        except KeyError:
+            raise SimulationError(f"no waveform recorded for {node!r}") from None
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self.voltages)
+
+    def final_voltages(self) -> Dict[str, float]:
+        return {name: float(v[-1]) for name, v in self.voltages.items()}
+
+
+def _time_grid(t_stop: float, steps: int, breakpoints: List[float]) -> np.ndarray:
+    grid = set(np.linspace(0.0, t_stop, steps + 1).tolist())
+    epsilon = t_stop * 1e-12
+    for b in breakpoints:
+        if 0.0 < b < t_stop:
+            grid.add(b)
+            grid.add(min(b + max(t_stop / (steps * 50), epsilon), t_stop))
+    return np.array(sorted(grid))
+
+
+def simulate_transient(problem: AnalogProblem, t_stop: float,
+                       steps: int = 2000,
+                       initial_conditions: Optional[Mapping[str, float]] = None,
+                       use_ic_only: bool = False,
+                       method: str = "trap",
+                       abstol: float = 5e-5) -> TransientResult:
+    """Integrate *problem* from 0 to *t_stop*.
+
+    ``initial_conditions`` seeds (or, with ``use_ic_only=True``, entirely
+    replaces) the DC operating point at t=0 — essential for charge-storage
+    nodes whose starting voltage is history, not statics.
+    """
+    if t_stop <= 0:
+        raise SimulationError("t_stop must be positive")
+    if method not in ("trap", "be"):
+        raise SimulationError(f"unknown integration method {method!r}")
+
+    if use_ic_only:
+        x = np.zeros(problem.size)
+        start = dict(initial_conditions or {})
+        for i, name in enumerate(problem.unknowns):
+            x[i] = start.get(name, 0.0)
+    else:
+        op = solve_dc(problem, t=0.0, initial_guess=initial_conditions,
+                      abstol=abstol)
+        if initial_conditions:
+            op.update(initial_conditions)
+        x = np.array([op[name] for name in problem.unknowns])
+
+    grid = _time_grid(t_stop, steps, problem.breakpoints())
+    breakpoint_set = set(problem.breakpoints())
+
+    n_caps = len(problem.capacitors)
+    cap_currents = np.zeros(n_caps)  # trapezoidal history
+    cap_volts = np.array([
+        problem.voltage(c.node_a, x, 0.0) - problem.voltage(c.node_b, x, 0.0)
+        for c in problem.capacitors
+    ])
+
+    times: List[float] = [0.0]
+    history: List[np.ndarray] = [x.copy()]
+    driven_history: Dict[str, List[float]] = {
+        name: [problem.drive_voltage(name, 0.0)] for name in problem.drives
+    }
+
+    force_be = True  # first step from the (possibly inconsistent) IC
+    t = 0.0
+    for t_next in grid[1:]:
+        x, cap_currents, cap_volts = _advance(
+            problem, x, cap_currents, cap_volts, t, t_next,
+            method="be" if (force_be or method == "be") else "trap",
+            abstol=abstol,
+        )
+        force_be = t_next in breakpoint_set
+        t = t_next
+        times.append(t)
+        history.append(x.copy())
+        for name in problem.drives:
+            driven_history[name].append(problem.drive_voltage(name, t))
+
+    time_array = np.array(times)
+    voltages: Dict[str, np.ndarray] = {}
+    stacked = np.vstack(history) if problem.size else np.zeros((len(times), 0))
+    for i, name in enumerate(problem.unknowns):
+        voltages[name] = stacked[:, i]
+    for name, values in driven_history.items():
+        voltages[name] = np.array(values)
+    return TransientResult(problem=problem, times=time_array, voltages=voltages)
+
+
+def _advance(problem: AnalogProblem, x: np.ndarray, cap_currents: np.ndarray,
+             cap_volts: np.ndarray, t0: float, t1: float, method: str,
+             abstol: float, depth: int = 0):
+    """One (possibly recursively halved) integration step t0 → t1."""
+    h = t1 - t0
+    if h <= 0:
+        raise SimulationError(f"non-positive step from {t0:g} to {t1:g}")
+
+    cap_terms = []
+    for cap, i_prev, v_prev in zip(problem.capacitors, cap_currents, cap_volts):
+        if method == "trap" and depth == 0:
+            g_eq = 2.0 * cap.capacitance / h
+            i_eq = g_eq * v_prev + i_prev
+        else:  # backward Euler (also used for halved rescue steps)
+            g_eq = cap.capacitance / h
+            i_eq = g_eq * v_prev
+        cap_terms.append((g_eq, i_eq))
+
+    try:
+        new_x = problem.newton_solve(x, t1, cap_terms, abstol=abstol)
+    except SimulationError as exc:
+        if depth >= 12:
+            raise ConvergenceError(
+                f"transient step failed after {depth} halvings: {exc}",
+                time=t1,
+            ) from exc
+        t_mid = 0.5 * (t0 + t1)
+        x_mid, i_mid, v_mid = _advance(problem, x, cap_currents, cap_volts,
+                                       t0, t_mid, "be", abstol, depth + 1)
+        return _advance(problem, x_mid, i_mid, v_mid, t_mid, t1, "be",
+                        abstol, depth + 1)
+
+    new_volts = np.array([
+        problem.voltage(c.node_a, new_x, t1) - problem.voltage(c.node_b, new_x, t1)
+        for c in problem.capacitors
+    ])
+    if method == "trap" and depth == 0:
+        new_currents = np.array([
+            (2.0 * c.capacitance / h) * (v1 - v0) - i0
+            for c, v1, v0, i0 in zip(problem.capacitors, new_volts,
+                                     cap_volts, cap_currents)
+        ])
+    else:
+        new_currents = np.array([
+            (c.capacitance / h) * (v1 - v0)
+            for c, v1, v0 in zip(problem.capacitors, new_volts, cap_volts)
+        ])
+    return new_x, new_currents, new_volts

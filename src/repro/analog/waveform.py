@@ -1,0 +1,196 @@
+"""Waveforms and the measurements the paper's evaluation needs.
+
+A :class:`Waveform` is a sampled voltage-vs-time trace with linear
+interpolation between samples.  The measurement helpers implement the
+standard definitions:
+
+* **delay** — time between the 50% crossing of an input edge and the 50%
+  crossing of the resulting output edge;
+* **transition time** — the 10%–90% (configurable) crossing interval,
+  rescaled to the full swing.  The rescaled number is the "slope" the slope
+  model propagates: a linear ramp of transition time ``t`` takes exactly
+  ``t`` to traverse the full swing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..tech import Transition
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A sampled signal.  ``times`` must be strictly increasing."""
+
+    times: np.ndarray
+    values: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise MeasurementError("waveform arrays must be 1-D and equal length")
+        if len(times) < 2:
+            raise MeasurementError("waveform needs at least two samples")
+        if not np.all(np.diff(times) > 0):
+            raise MeasurementError("waveform times must be strictly increasing")
+
+    # -- basic access -----------------------------------------------------
+
+    @property
+    def t_start(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def t_stop(self) -> float:
+        return float(self.times[-1])
+
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value; clamped outside the time range."""
+        return float(np.interp(t, self.times, self.values))
+
+    def final_value(self) -> float:
+        return float(self.values[-1])
+
+    def initial_value(self) -> float:
+        return float(self.values[0])
+
+    def window(self, t0: float, t1: float) -> "Waveform":
+        """The sub-waveform on [t0, t1], with interpolated end samples."""
+        if not (self.t_start <= t0 < t1 <= self.t_stop):
+            raise MeasurementError(
+                f"window [{t0:g}, {t1:g}] outside waveform span "
+                f"[{self.t_start:g}, {self.t_stop:g}]"
+            )
+        mask = (self.times > t0) & (self.times < t1)
+        times = np.concatenate(([t0], self.times[mask], [t1]))
+        values = np.concatenate((
+            [self.value_at(t0)], self.values[mask], [self.value_at(t1)]))
+        return Waveform(times, values, name=self.name)
+
+    # -- crossings ----------------------------------------------------------
+
+    def crossings(self, threshold: float,
+                  direction: Optional[Transition] = None) -> List[float]:
+        """All times where the waveform crosses *threshold*, linearly
+        interpolated.  *direction* restricts to rising or falling crossings.
+        """
+        v = self.values
+        t = self.times
+        out: List[float] = []
+        below = v[:-1] < threshold
+        above = v[1:] >= threshold
+        rising = np.nonzero(below & above)[0]
+        falling = np.nonzero(~below & ~above)[0]  # v[i] >= thr > v[i+1]
+        candidates = []
+        if direction in (None, Transition.RISE):
+            candidates.extend((i, Transition.RISE) for i in rising)
+        if direction in (None, Transition.FALL):
+            candidates.extend((i, Transition.FALL) for i in falling)
+        for i, _ in sorted(candidates):
+            v0, v1 = v[i], v[i + 1]
+            if v1 == v0:
+                out.append(float(t[i]))
+            else:
+                frac = (threshold - v0) / (v1 - v0)
+                out.append(float(t[i] + frac * (t[i + 1] - t[i])))
+        return sorted(out)
+
+    def first_crossing(self, threshold: float,
+                       direction: Optional[Transition] = None,
+                       after: float = -np.inf) -> float:
+        """The first crossing at or after *after*; raises if none."""
+        for time in self.crossings(threshold, direction):
+            if time >= after:
+                return time
+        kind = direction.value if direction else "any"
+        raise MeasurementError(
+            f"waveform {self.name or '?'}: no {kind} crossing of "
+            f"{threshold:g}V after t={after:g}s"
+        )
+
+    def last_crossing(self, threshold: float,
+                      direction: Optional[Transition] = None) -> float:
+        times = self.crossings(threshold, direction)
+        if not times:
+            kind = direction.value if direction else "any"
+            raise MeasurementError(
+                f"waveform {self.name or '?'}: no {kind} crossing of "
+                f"{threshold:g}V"
+            )
+        return times[-1]
+
+    # -- standard measurements ---------------------------------------------
+
+    def transition_time(self, swing_low: float, swing_high: float,
+                        direction: Transition, after: float = -np.inf,
+                        low_frac: float = 0.1, high_frac: float = 0.9) -> float:
+        """Full-swing-equivalent transition time of the first *direction*
+        edge after *after*.
+
+        Measures the ``low_frac``→``high_frac`` crossing interval and divides
+        by ``high_frac - low_frac`` so a perfect ramp reports its true
+        duration.
+        """
+        span = swing_high - swing_low
+        if span <= 0:
+            raise MeasurementError("swing_high must exceed swing_low")
+        lo = swing_low + low_frac * span
+        hi = swing_low + high_frac * span
+        if direction is Transition.RISE:
+            t_first = self.first_crossing(lo, Transition.RISE, after)
+            t_second = self.first_crossing(hi, Transition.RISE, t_first)
+        else:
+            t_first = self.first_crossing(hi, Transition.FALL, after)
+            t_second = self.first_crossing(lo, Transition.FALL, t_first)
+        return (t_second - t_first) / (high_frac - low_frac)
+
+    def settles_to(self, target: float, tolerance: float) -> bool:
+        """True when the final value is within *tolerance* of *target*."""
+        return abs(self.final_value() - target) <= tolerance
+
+
+def delay_between(input_wf: Waveform, output_wf: Waveform, vdd: float,
+                  input_edge: Transition, output_edge: Transition,
+                  threshold_frac: float = 0.5,
+                  after: float = -np.inf) -> float:
+    """50%-to-50% propagation delay from an input edge to the output edge it
+    causes.  The output crossing is searched *from the input crossing
+    backwards by one input transition* so that negative delays (possible with
+    skewed thresholds and slow inputs) are still found."""
+    threshold = threshold_frac * vdd
+    t_in = input_wf.first_crossing(threshold, input_edge, after)
+    # Allow the output to have switched slightly before the input midpoint.
+    search_from = max(input_wf.t_start, t_in - (t_in - input_wf.t_start))
+    t_out = output_wf.first_crossing(threshold, output_edge, search_from)
+    return t_out - t_in
+
+
+def ramp_waveform(t_start: float, duration: float, v_from: float, v_to: float,
+                  t_stop: float, name: str = "ramp") -> Waveform:
+    """A piecewise-linear ramp waveform (useful in tests and fitting)."""
+    if duration <= 0:
+        times = [min(t_start - 1e-15, 0.0), t_start, t_start + 1e-15, t_stop]
+        values = [v_from, v_from, v_to, v_to]
+        return Waveform(np.array(times), np.array(values), name=name)
+    times = [0.0, t_start, t_start + duration, t_stop]
+    values = [v_from, v_from, v_to, v_to]
+    if t_start == 0.0:
+        times = times[1:]
+        values = values[1:]
+    return Waveform(np.array(times), np.array(values), name=name)
+
+
+def sample_uniform(times: Sequence[float], values: Sequence[float],
+                   name: str = "") -> Waveform:
+    """Convenience constructor from Python sequences."""
+    return Waveform(np.asarray(times, dtype=float),
+                    np.asarray(values, dtype=float), name=name)

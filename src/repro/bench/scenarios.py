@@ -1,0 +1,188 @@
+"""The paper's test-circuit scenarios (tables T1 and T2).
+
+Each function returns fully-wired :class:`~repro.bench.harness.Scenario`
+objects for one technology: the circuit, the analog stimulus, the timing
+specs, and the observed edge.  The circuit list reconstructs the DAC'84
+evaluation set (see DESIGN.md): inverter chains with fanout, NAND/NOR,
+pass chains, a precharged bus, the nMOS bootstrap driver, and an XOR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analog import sources
+from ..core.timing import InputSpec
+from ..circuits import (
+    bootstrap_driver,
+    inverter_chain,
+    mux_tree,
+    nand_gate,
+    nor_gate,
+    pass_chain,
+    precharged_bus,
+    xor_gate,
+)
+from ..tech import Technology, Transition
+from .harness import Scenario
+
+#: Input edge transition times used for the table scenarios.
+CMOS_EDGE = 0.3e-9
+NMOS_EDGE = 1.0e-9
+#: Edge launch time (the DC state settles instantly at t=0).
+T0 = 2e-9
+
+_STATIC = InputSpec(arrival_rise=None, arrival_fall=None)
+
+
+def _edge_spec(edge: Transition, slope: float) -> InputSpec:
+    if edge is Transition.RISE:
+        return InputSpec(arrival_rise=0.0, arrival_fall=None, slope=slope)
+    return InputSpec(arrival_rise=None, arrival_fall=0.0, slope=slope)
+
+
+def _scenario(name: str, network, switching: str, edge: Transition,
+              output: str, output_edge: Transition, slope: float,
+              t_stop: float, static_high: Optional[List[str]] = None,
+              static_low: Optional[List[str]] = None,
+              initial_conditions: Optional[Dict[str, float]] = None,
+              notes: str = "") -> Scenario:
+    tech = network.tech
+    drives: Dict[str, object] = {
+        switching: sources.edge(tech.vdd, rising=edge is Transition.RISE,
+                                at=T0, transition_time=slope),
+    }
+    timing: Dict[str, object] = {switching: _edge_spec(edge, slope)}
+    for node in static_high or []:
+        drives[node] = tech.vdd
+        timing[node] = _STATIC
+    for node in static_low or []:
+        drives[node] = 0.0
+        timing[node] = _STATIC
+    return Scenario(
+        name=name,
+        network=network,
+        drives=drives,
+        timing_inputs=timing,
+        input_node=switching,
+        input_edge=edge,
+        output_node=output,
+        output_edge=output_edge,
+        t_stop=t_stop,
+        initial_conditions=initial_conditions,
+        notes=notes,
+    )
+
+
+def nmos_scenarios(tech: Technology) -> List[Scenario]:
+    """Table T1: the nMOS test circuits (expects a characterized NMOS4)."""
+    slope = NMOS_EDGE
+    out: List[Scenario] = []
+
+    out.append(_scenario(
+        "inverter+100fF", inverter_chain(tech, 1, load_cap=100e-15),
+        "in", Transition.RISE, "out", Transition.FALL, slope, 60e-9,
+        notes="single ratioed inverter discharging a wire load"))
+
+    out.append(_scenario(
+        "inv-chain-4", inverter_chain(tech, 4),
+        "in", Transition.RISE, "out", Transition.RISE, slope, 200e-9))
+
+    out.append(_scenario(
+        "inv-chain-4-fo4", inverter_chain(tech, 4, fanout=4),
+        "in", Transition.RISE, "out", Transition.RISE, slope, 400e-9,
+        notes="every stage drives four gate loads"))
+
+    out.append(_scenario(
+        "nand2", nand_gate(tech, 2), "a0", Transition.RISE,
+        "out", Transition.FALL, slope, 60e-9, static_high=["a1"]))
+
+    out.append(_scenario(
+        "nand3", nand_gate(tech, 3), "a0", Transition.RISE,
+        "out", Transition.FALL, slope, 60e-9, static_high=["a1", "a2"],
+        notes="three-high series pulldown"))
+
+    out.append(_scenario(
+        "nor2", nor_gate(tech, 2), "a0", Transition.RISE,
+        "out", Transition.FALL, slope, 60e-9, static_low=["a1"]))
+
+    out.append(_scenario(
+        "pass-chain-4", pass_chain(tech, 4), "in", Transition.FALL,
+        "out", Transition.RISE, slope, 400e-9, static_high=["en"],
+        notes="distributed RC: inverter driving 4 pass devices"))
+
+    out.append(_scenario(
+        "pass-chain-8", pass_chain(tech, 8), "in", Transition.FALL,
+        "out", Transition.RISE, slope, 700e-9, static_high=["en"]))
+
+    bus = precharged_bus(tech, drivers=2)
+    out.append(_scenario(
+        "bus-discharge", bus, "en0", Transition.RISE,
+        "bus", Transition.FALL, slope, 80e-9,
+        static_high=["d0"], static_low=["phi", "d1", "en1"],
+        initial_conditions={"bus": tech.vdd},
+        notes="precharged 400fF bus pulled down by one driver"))
+
+    out.append(_scenario(
+        "bootstrap", bootstrap_driver(tech), "in", Transition.FALL,
+        "out", Transition.RISE, slope, 250e-9,
+        notes="bootstrapped super-buffer driving 200fF"))
+
+    out.append(_scenario(
+        "xor", xor_gate(tech), "a", Transition.RISE,
+        "out", Transition.RISE, slope, 250e-9, static_low=["b"]))
+    return out
+
+
+def cmos_scenarios(tech: Technology) -> List[Scenario]:
+    """Table T2: the CMOS test circuits (expects a characterized CMOS3)."""
+    slope = CMOS_EDGE
+    out: List[Scenario] = []
+
+    out.append(_scenario(
+        "inverter+100fF", inverter_chain(tech, 1, load_cap=100e-15),
+        "in", Transition.RISE, "out", Transition.FALL, slope, 25e-9))
+
+    out.append(_scenario(
+        "inv-chain-4", inverter_chain(tech, 4),
+        "in", Transition.RISE, "out", Transition.RISE, slope, 30e-9))
+
+    out.append(_scenario(
+        "inv-chain-4-fo4", inverter_chain(tech, 4, fanout=4),
+        "in", Transition.RISE, "out", Transition.RISE, slope, 60e-9))
+
+    out.append(_scenario(
+        "nand2", nand_gate(tech, 2), "a0", Transition.RISE,
+        "out", Transition.FALL, slope, 25e-9, static_high=["a1"]))
+
+    out.append(_scenario(
+        "nor2", nor_gate(tech, 2), "a0", Transition.RISE,
+        "out", Transition.FALL, slope, 25e-9, static_low=["a1"]))
+
+    out.append(_scenario(
+        "pass-chain-4", pass_chain(tech, 4), "in", Transition.FALL,
+        "out", Transition.RISE, slope, 80e-9, static_high=["en"]))
+
+    out.append(_scenario(
+        "pass-chain-8", pass_chain(tech, 8), "in", Transition.FALL,
+        "out", Transition.RISE, slope, 150e-9, static_high=["en"]))
+
+    mux = mux_tree(tech, select_bits=1)
+    out.append(_scenario(
+        "tgate-mux", mux, "d0", Transition.RISE,
+        "out", Transition.RISE, slope, 40e-9,
+        static_low=["s0"], static_high=["s0n", "d1"],
+        notes="transmission-gate mux, data propagates through"))
+
+    bus = precharged_bus(tech, drivers=2)
+    out.append(_scenario(
+        "bus-discharge", bus, "en0", Transition.RISE,
+        "bus", Transition.FALL, slope, 50e-9,
+        static_high=["d0", "phi"], static_low=["d1", "en1"],
+        initial_conditions={"bus": tech.vdd},
+        notes="pMOS-precharged 400fF bus"))
+
+    out.append(_scenario(
+        "xor", xor_gate(tech), "a", Transition.RISE,
+        "out", Transition.RISE, slope, 50e-9, static_low=["b"]))
+    return out

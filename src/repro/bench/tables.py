@@ -1,0 +1,87 @@
+"""Table formatting in the layout of the paper's results tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..units import format_value
+from .harness import ComparisonRow, ErrorSummary, RuntimeRow
+
+
+def format_comparison_table(rows: Sequence[ComparisonRow], title: str,
+                            model_order: Optional[List[str]] = None) -> str:
+    """Rows: circuit | reference | per-model "delay (err%)" columns."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    if model_order is None:
+        model_order = [est.model for est in rows[0].estimates]
+    header = f"{'circuit':<18s} {'reference':>10s}"
+    for model in model_order:
+        header += f" | {model:>20s}"
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for row in rows:
+        line = f"{row.scenario:<18s} {format_value(row.reference, 's'):>10s}"
+        for model in model_order:
+            est = row.estimate(model)
+            cell = (f"{format_value(est.delay, 's'):>10s} "
+                    f"({est.error * 100:+6.1f}%)")
+            line += f" | {cell:>20s}"
+        lines.append(line)
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def format_error_summary(summaries: Sequence[ErrorSummary],
+                         title: str) -> str:
+    """Table T3: aggregate error statistics per model."""
+    header = (f"{'model':<12s} {'rows':>5s} {'mean |err|':>11s} "
+              f"{'max |err|':>10s} {'mean err':>9s}")
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for s in summaries:
+        lines.append(
+            f"{s.model:<12s} {s.rows:>5d} {s.mean_abs_error * 100:>10.1f}% "
+            f"{s.max_abs_error * 100:>9.1f}% {s.mean_signed_error * 100:>8.1f}%"
+        )
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def format_runtime_table(rows: Sequence[RuntimeRow], title: str) -> str:
+    """Table T4: analyzer vs simulator wall clock and speedup."""
+    header = (f"{'circuit':<14s} {'devices':>8s} {'analyzer':>10s} "
+              f"{'simulator':>10s} {'speedup':>9s}")
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for row in rows:
+        sim = (format_value(row.simulator_seconds, 's')
+               if row.simulator_seconds is not None else "(skipped)")
+        speedup = (f"{row.speedup:8.0f}x" if row.speedup is not None
+                   else "-")
+        lines.append(
+            f"{row.circuit:<14s} {row.transistors:>8d} "
+            f"{format_value(row.analyzer_seconds, 's'):>10s} "
+            f"{sim:>10s} {speedup:>9s}"
+        )
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def format_series(header_cols: Sequence[str],
+                  rows: Sequence[Sequence[object]], title: str) -> str:
+    """Generic aligned numeric series table (figure data dumps)."""
+    widths = [max(len(str(c)), 12) for c in header_cols]
+    header = "  ".join(f"{c:>{w}s}" for c, w in zip(header_cols, widths))
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:>{width}.4g}")
+            else:
+                cells.append(f"{str(value):>{width}s}")
+        lines.append("  ".join(cells))
+    lines.append(rule)
+    return "\n".join(lines)

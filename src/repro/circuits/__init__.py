@@ -1,0 +1,50 @@
+"""Benchmark circuits: primitives and parametric generators."""
+
+from .primitives import Gates
+from .generators import (
+    bootstrap_driver,
+    inverter_chain,
+    mux_tree,
+    nand_gate,
+    nor_gate,
+    pass_chain,
+    precharged_bus,
+    ring_oscillator,
+    xor_gate,
+)
+from .adders import (
+    adder_assignments,
+    adder_input_names,
+    adder_result,
+    carry_select_adder,
+    full_adder,
+    ripple_carry_adder,
+)
+from .datapath import decoder, decoder_output_names, shift_register
+from .pla import Cube, PLASpec, pla, seven_segment_spec
+
+__all__ = [
+    "Gates",
+    "bootstrap_driver",
+    "inverter_chain",
+    "mux_tree",
+    "nand_gate",
+    "nor_gate",
+    "pass_chain",
+    "precharged_bus",
+    "ring_oscillator",
+    "xor_gate",
+    "adder_assignments",
+    "adder_input_names",
+    "adder_result",
+    "carry_select_adder",
+    "full_adder",
+    "ripple_carry_adder",
+    "decoder",
+    "decoder_output_names",
+    "shift_register",
+    "Cube",
+    "PLASpec",
+    "pla",
+    "seven_segment_spec",
+]

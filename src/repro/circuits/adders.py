@@ -1,0 +1,151 @@
+"""Adders — the scaling workloads of the runtime experiment (T4).
+
+Gate-level full adders chained into ripple-carry adders of arbitrary width.
+The carry chain is the canonical critical path the timing analyzer must
+find (experiment F4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import NetlistError
+from ..netlist import Network
+from ..tech import Technology
+from .primitives import Gates
+
+
+def full_adder(tech: Technology, name: Optional[str] = None) -> Network:
+    """One-bit full adder.  Ports: ``a``, ``b``, ``cin`` → ``sum``, ``cout``.
+
+    ``sum = a ^ b ^ cin``; ``cout = ab + cin(a ^ b)`` (the standard
+    9-gate realization).
+    """
+    net = Network(tech, name=name or "fulladder")
+    _build_full_adder(Gates(net), "a", "b", "cin", "sum", "cout")
+    net.mark_input("a", "b", "cin")
+    return net
+
+
+def _build_full_adder(gates: Gates, a: str, b: str, cin: str,
+                      sum_out: str, cout: str) -> None:
+    axb = f"{sum_out}.axb"
+    gates.xor(a, b, axb)
+    gates.xor(axb, cin, sum_out)
+    g1 = f"{cout}.nab"
+    g2 = f"{cout}.ncx"
+    gates.nand([a, b], g1)
+    gates.nand([cin, axb], g2)
+    gates.nand([g1, g2], cout)
+
+
+def ripple_carry_adder(tech: Technology, bits: int,
+                       name: Optional[str] = None) -> Network:
+    """*bits*-bit ripple-carry adder.
+
+    Ports: ``a0..``, ``b0..``, ``cin`` → ``s0..``, ``cout``.  The carry
+    ripples through ``c1..c{bits-1}``.
+    """
+    if bits < 1:
+        raise NetlistError("need at least one bit")
+    net = Network(tech, name=name or f"rca{bits}")
+    gates = Gates(net)
+    carry = "cin"
+    inputs = ["cin"]
+    for bit in range(bits):
+        a, b, s = f"a{bit}", f"b{bit}", f"s{bit}"
+        next_carry = "cout" if bit == bits - 1 else f"c{bit + 1}"
+        _build_full_adder(gates, a, b, carry, s, next_carry)
+        inputs.extend([a, b])
+        carry = next_carry
+    net.mark_input(*inputs)
+    return net
+
+
+def carry_select_adder(tech: Technology, bits: int, block: int = 4,
+                       name: Optional[str] = None) -> Network:
+    """*bits*-bit carry-select adder with *block*-bit ripple blocks.
+
+    Each block computes both possible sums (carry-in 0 and carry-in 1) in
+    parallel ripple chains; the true incoming carry then steers a mux.
+    The critical path trades the long ripple chain for one block plus a
+    chain of muxes — the architecture-comparison baseline of experiment
+    E1.  Same ports as :func:`ripple_carry_adder`.
+    """
+    if bits < 1:
+        raise NetlistError("need at least one bit")
+    if block < 1:
+        raise NetlistError("block size must be positive")
+    net = Network(tech, name=name or f"csa{bits}x{block}")
+    gates = Gates(net)
+    inputs = ["cin"]
+    carry = "cin"
+    bit = 0
+    block_index = 0
+    while bit < bits:
+        width = min(block, bits - bit)
+        lanes = {}
+        for lane in (0, 1):
+            # The speculative carry-in is a constant: tie the first full
+            # adder's carry gate input straight to the rail.
+            current = "gnd" if lane == 0 else "vdd"
+            sums = []
+            for offset in range(width):
+                index = bit + offset
+                s = f"t{block_index}_{lane}_s{offset}"
+                nxt = f"k{block_index}_{lane}_c{offset + 1}"
+                _build_full_adder(gates, f"a{index}", f"b{index}",
+                                  current, s, nxt)
+                sums.append(s)
+                current = nxt
+            lanes[lane] = (sums, current)
+        # Steer by the true incoming carry.
+        for offset in range(width):
+            index = bit + offset
+            gates.gate_mux2(carry, lanes[1][0][offset],
+                            lanes[0][0][offset], f"s{index}")
+        next_carry = ("cout" if bit + width >= bits
+                      else f"c{bit + width}")
+        gates.gate_mux2(carry, lanes[1][1], lanes[0][1], next_carry)
+        for offset in range(width):
+            index = bit + offset
+            inputs.extend([f"a{index}", f"b{index}"])
+        carry = next_carry
+        bit += width
+        block_index += 1
+    net.mark_input(*inputs)
+    return net
+
+
+def adder_input_names(bits: int) -> List[str]:
+    """The primary input names of :func:`ripple_carry_adder`."""
+    names = ["cin"]
+    for bit in range(bits):
+        names.extend([f"a{bit}", f"b{bit}"])
+    return names
+
+
+def adder_assignments(bits: int, a: int, b: int, cin: int = 0) -> dict:
+    """Input assignment dict for adding *a* + *b* + *cin*."""
+    if a < 0 or b < 0 or a >= 2 ** bits or b >= 2 ** bits:
+        raise NetlistError(f"operands out of range for {bits} bits")
+    values = {"cin": cin}
+    for bit in range(bits):
+        values[f"a{bit}"] = (a >> bit) & 1
+        values[f"b{bit}"] = (b >> bit) & 1
+    return values
+
+
+def adder_result(values: dict, bits: int) -> int:
+    """Decode ``s0.. / cout`` logic values back into an integer."""
+    from ..switchlevel import Logic
+
+    total = 0
+    for bit in range(bits):
+        value = values[f"s{bit}"]
+        if value is Logic.X:
+            raise NetlistError(f"sum bit {bit} is X")
+        total |= (1 if value is Logic.ONE else 0) << bit
+    cout = values["cout"]
+    total |= (1 if cout is Logic.ONE else 0) << bits
+    return total

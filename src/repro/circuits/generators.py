@@ -1,0 +1,202 @@
+"""Parametric benchmark-circuit generators.
+
+These build the test circuits of the paper's evaluation (reconstructed —
+see DESIGN.md): inverter chains with fanout, NAND/NOR stages,
+pass-transistor chains, precharged buses, bootstrap drivers.  Every
+generator returns a fresh :class:`~repro.netlist.Network` with conventional
+port names (``in``, ``out``, …) and all primary inputs marked.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import NetlistError
+from ..netlist import Network
+from ..tech import Technology
+from .primitives import Gates
+
+
+def inverter_chain(tech: Technology, stages: int, fanout: int = 1,
+                   load_cap: float = 0.0, name: Optional[str] = None) -> Network:
+    """*stages* inverters in series; each internal node optionally carries
+    *fanout - 1* extra inverter loads and the output a fixed *load_cap*.
+
+    Ports: ``in`` → ``out`` (plus ``n1..n{stages-1}`` internals).
+    """
+    if stages < 1:
+        raise NetlistError("need at least one inverter")
+    net = Network(tech, name=name or f"invchain{stages}x{fanout}")
+    gates = Gates(net)
+    previous = "in"
+    for i in range(1, stages + 1):
+        node = "out" if i == stages else f"n{i}"
+        gates.inverter(previous, node)
+        if fanout > 1:
+            gates.fanout_inverters(node, fanout - 1)
+        previous = node
+    if load_cap > 0:
+        gates.load_cap("out", load_cap)
+    net.mark_input("in")
+    return net
+
+
+def nand_gate(tech: Technology, inputs: int = 2, load_cap: float = 50e-15,
+              name: Optional[str] = None) -> Network:
+    """A single NAND driving a load.  Ports: ``a0..a{n-1}`` → ``out``."""
+    net = Network(tech, name=name or f"nand{inputs}")
+    gates = Gates(net)
+    ports = [f"a{i}" for i in range(inputs)]
+    gates.nand(ports, "out")
+    gates.load_cap("out", load_cap)
+    net.mark_input(*ports)
+    return net
+
+
+def nor_gate(tech: Technology, inputs: int = 2, load_cap: float = 50e-15,
+             name: Optional[str] = None) -> Network:
+    """A single NOR driving a load.  Ports: ``a0..a{n-1}`` → ``out``."""
+    net = Network(tech, name=name or f"nor{inputs}")
+    gates = Gates(net)
+    ports = [f"a{i}" for i in range(inputs)]
+    gates.nor(ports, "out")
+    gates.load_cap("out", load_cap)
+    net.mark_input(*ports)
+    return net
+
+
+def pass_chain(tech: Technology, length: int, driven: bool = True,
+               gate_high: bool = True, load_cap: float = 20e-15,
+               name: Optional[str] = None) -> Network:
+    """A chain of *length* n-channel pass transistors.
+
+    ``in -[pass]- p1 -[pass]- … -[pass]- out``; every pass gate is tied to
+    the net ``en`` (an input, normally held high).  With ``driven`` an
+    inverter buffers ``in`` first (node ``drv``), matching how the paper's
+    pass-chain circuits are driven.
+
+    This is the distributed-RC circuit the lumped model overestimates
+    (quadratic vs. its R·C_total product) and the RC-tree model nails.
+    """
+    if length < 1:
+        raise NetlistError("need at least one pass device")
+    net = Network(tech, name=name or f"passchain{length}")
+    gates = Gates(net)
+    if driven:
+        gates.inverter("in", "drv")
+        previous = "drv"
+    else:
+        previous = "in"
+    for i in range(1, length + 1):
+        node = "out" if i == length else f"p{i}"
+        gates.pass_nmos("en", previous, node)
+        previous = node
+    gates.load_cap("out", load_cap)
+    net.mark_input("in", "en")
+    if gate_high:
+        pass  # caller drives `en`; flag retained for API clarity
+    return net
+
+
+def precharged_bus(tech: Technology, drivers: int = 4,
+                   bus_cap: float = 400e-15,
+                   name: Optional[str] = None) -> Network:
+    """A precharged bus: a clocked pullup (``phi`` low precharges the bus
+    in CMOS; an nMOS bus precharges through an enhancement device with
+    ``phi`` high) and *drivers* pulldown stacks ``(d_i AND en_i)``.
+
+    Ports: ``phi``, ``d0..``, ``en0..`` → ``bus``.
+    """
+    from ..tech import DeviceKind
+
+    net = Network(tech, name=name or f"bus{drivers}")
+    gates = Gates(net)
+    net.add_node("bus", capacitance=bus_cap)
+    if gates.is_cmos:
+        w, l = gates._pullup_geometry(2.0)
+        net.add_transistor(DeviceKind.PMOS, "phi", "vdd", "bus",
+                           width=w, length=l)
+    else:
+        w, l = gates._nmos_geometry(2.0)
+        net.add_transistor(DeviceKind.NMOS_ENH, "phi", "vdd", "bus",
+                           width=w, length=l)
+    inputs = ["phi"]
+    for i in range(drivers):
+        data, enable = f"d{i}", f"en{i}"
+        mid = f"bus.pd{i}"
+        w, l = gates._nmos_geometry(1.0, stack=2)
+        net.add_transistor(DeviceKind.NMOS_ENH, data, "gnd", mid,
+                           width=w, length=l)
+        net.add_transistor(DeviceKind.NMOS_ENH, enable, mid, "bus",
+                           width=w, length=l)
+        inputs.extend([data, enable])
+    net.mark_input(*inputs)
+    return net
+
+
+def bootstrap_driver(tech: Technology, load_cap: float = 200e-15,
+                     name: Optional[str] = None) -> Network:
+    """The nMOS bootstrap super-buffer driving a heavy load.
+
+    Ports: ``in`` → ``out``.  nMOS technologies only.
+    """
+    net = Network(tech, name=name or "bootstrap")
+    gates = Gates(net)
+    gates.bootstrap_driver("in", "out")
+    gates.load_cap("out", load_cap)
+    net.mark_input("in")
+    return net
+
+
+def xor_gate(tech: Technology, load_cap: float = 50e-15,
+             name: Optional[str] = None) -> Network:
+    """4-NAND XOR.  Ports: ``a``, ``b`` → ``out``."""
+    net = Network(tech, name=name or "xor")
+    gates = Gates(net)
+    gates.xor("a", "b", "out")
+    gates.load_cap("out", load_cap)
+    net.mark_input("a", "b")
+    return net
+
+
+def mux_tree(tech: Technology, select_bits: int = 2,
+             load_cap: float = 30e-15, name: Optional[str] = None) -> Network:
+    """A pass-transistor multiplexer tree: 2^k data inputs, k select pairs.
+
+    Ports: ``d0..``, ``s0..``/``s0n..`` → ``out``.
+    """
+    if select_bits < 1:
+        raise NetlistError("need at least one select bit")
+    net = Network(tech, name=name or f"mux{2 ** select_bits}")
+    gates = Gates(net)
+    level_nodes: List[str] = [f"d{i}" for i in range(2 ** select_bits)]
+    inputs = list(level_nodes)
+    for level in range(select_bits):
+        select, select_n = f"s{level}", f"s{level}n"
+        inputs.extend([select, select_n])
+        next_nodes: List[str] = []
+        for pair in range(len(level_nodes) // 2):
+            out = ("out" if level == select_bits - 1 and pair == 0
+                   else f"m{level}_{pair}")
+            gates.mux2(select, select_n, level_nodes[2 * pair + 1],
+                       level_nodes[2 * pair], out)
+            next_nodes.append(out)
+        level_nodes = next_nodes
+    gates.load_cap("out", load_cap)
+    net.mark_input(*inputs)
+    return net
+
+
+def ring_oscillator(tech: Technology, stages: int = 5,
+                    name: Optional[str] = None) -> Network:
+    """An odd-length inverter ring with an enabling NAND — the classic
+    oscillation test for the simulators (no primary output settles)."""
+    if stages < 3 or stages % 2 == 0:
+        raise NetlistError("ring length must be odd and >= 3")
+    net = Network(tech, name=name or f"ring{stages}")
+    gates = Gates(net)
+    gates.nand(["en", f"r{stages - 1}"], "r0")
+    for i in range(1, stages):
+        gates.inverter(f"r{i - 1}", f"r{i}")
+    net.mark_input("en")
+    return net

@@ -1,0 +1,165 @@
+"""Programmable logic array generator.
+
+The PLA was *the* structured-logic idiom of the paper's era: an AND plane
+of product terms feeding an OR plane of outputs.  This generator realizes
+both planes in the host technology's native gates (ratioed NOR rows for
+nMOS, static gates for CMOS), using the classic NOR-NOR formulation:
+
+    ``product_j = NOR(complemented literals of cube j)``
+    ``output_k  = NOT(NOR(products of output k))``
+
+A :class:`PLASpec` describes the personality matrix; truth-table
+convenience constructors cover the common cases.  The generated networks
+give the timing analyzer wide, shallow structures with large-fan-in rows —
+a different shape from adder chains, useful in the scaling experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NetlistError
+from ..netlist import Network
+from ..tech import Technology
+from .primitives import Gates
+
+
+@dataclass(frozen=True)
+class Cube:
+    """One product term: input index → required literal (True = positive).
+
+    Inputs absent from the map are don't-cares for this term.
+    """
+
+    literals: Tuple[Tuple[int, bool], ...]
+
+    @classmethod
+    def of(cls, **kwargs) -> "Cube":  # pragma: no cover - sugar
+        raise NetlistError("use Cube(literals=...) or PLASpec helpers")
+
+    @classmethod
+    def from_dict(cls, mapping: Dict[int, bool]) -> "Cube":
+        return cls(literals=tuple(sorted(mapping.items())))
+
+    def evaluate(self, bits: Sequence[int]) -> bool:
+        return all(bool(bits[i]) is positive for i, positive in self.literals)
+
+
+@dataclass
+class PLASpec:
+    """Personality of a PLA: inputs, product terms, output connections."""
+
+    num_inputs: int
+    cubes: List[Cube] = field(default_factory=list)
+    #: per output: indexes into `cubes` that are OR-ed together
+    outputs: List[Tuple[int, ...]] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if self.num_inputs < 1:
+            raise NetlistError("PLA needs at least one input")
+        if not self.cubes:
+            raise NetlistError("PLA needs at least one product term")
+        if not self.outputs:
+            raise NetlistError("PLA needs at least one output")
+        for cube in self.cubes:
+            for index, _ in cube.literals:
+                if not 0 <= index < self.num_inputs:
+                    raise NetlistError(
+                        f"cube literal references input {index}, but the "
+                        f"PLA has {self.num_inputs} inputs")
+        for terms in self.outputs:
+            for term in terms:
+                if not 0 <= term < len(self.cubes):
+                    raise NetlistError(f"output references product {term}")
+
+    def evaluate(self, bits: Sequence[int]) -> List[bool]:
+        """Reference semantics, for tests."""
+        fired = [cube.evaluate(bits) for cube in self.cubes]
+        return [any(fired[t] for t in terms) for terms in self.outputs]
+
+    @classmethod
+    def from_truth_table(cls, num_inputs: int,
+                         table: Dict[int, Sequence[int]]) -> "PLASpec":
+        """A (non-minimized) PLA from minterms: ``table[minterm] ->
+        iterable of output indexes asserted for that input pattern``."""
+        cubes: List[Cube] = []
+        outputs: Dict[int, List[int]] = {}
+        for minterm in sorted(table):
+            if not 0 <= minterm < 2 ** num_inputs:
+                raise NetlistError(f"minterm {minterm} out of range")
+            literals = {i: bool((minterm >> i) & 1)
+                        for i in range(num_inputs)}
+            cube_index = len(cubes)
+            cubes.append(Cube.from_dict(literals))
+            for output in table[minterm]:
+                outputs.setdefault(output, []).append(cube_index)
+        num_outputs = max(outputs) + 1 if outputs else 0
+        return cls(
+            num_inputs=num_inputs,
+            cubes=cubes,
+            outputs=[tuple(outputs.get(k, ())) for k in range(num_outputs)],
+        )
+
+
+def pla(tech: Technology, spec: PLASpec,
+        name: Optional[str] = None) -> Network:
+    """Build the PLA.  Ports: ``i0..`` → ``o0..``.
+
+    Implementation: input buffers produce true/complement rails;
+    the AND plane realizes each product as a NOR of complemented
+    literals; the OR plane NORs the products and inverts.
+    Single-literal rows degenerate to inverters/buffers.
+    """
+    spec.validate()
+    net = Network(tech, name=name or
+                  f"pla{spec.num_inputs}x{len(spec.cubes)}x"
+                  f"{len(spec.outputs)}")
+    gates = Gates(net)
+    inputs = [f"i{k}" for k in range(spec.num_inputs)]
+    for node in inputs:
+        gates.inverter(node, f"{node}n")
+
+    def literal_rail(index: int, positive: bool) -> str:
+        # product = AND(lits) = NOR(complemented lits): feed the NOR with
+        # the *complement* of each literal.
+        return f"i{index}n" if positive else f"i{index}"
+
+    product_nodes: List[str] = []
+    for j, cube in enumerate(spec.cubes):
+        node = f"p{j}"
+        rails = [literal_rail(i, positive) for i, positive in cube.literals]
+        if not rails:
+            raise NetlistError(f"product {j} has no literals")
+        if len(rails) == 1:
+            gates.inverter(rails[0], node)
+        else:
+            gates.nor(rails, node)
+        product_nodes.append(node)
+
+    for k, terms in enumerate(spec.outputs):
+        node = f"o{k}"
+        if not terms:
+            raise NetlistError(f"output {k} has no product terms")
+        rails = [product_nodes[t] for t in terms]
+        if len(rails) == 1:
+            gates.buffer(rails[0], node)
+        else:
+            gates.nor(rails, f"{node}.n")
+            gates.inverter(f"{node}.n", node)
+
+    net.mark_input(*inputs)
+    return net
+
+
+def seven_segment_spec() -> PLASpec:
+    """A classic demonstration personality: BCD digit → 7-segment drive
+    (segments a..g as outputs 0..6)."""
+    segments = {
+        0: "abcdef", 1: "bc", 2: "abdeg", 3: "abcdg", 4: "bcfg",
+        5: "acdfg", 6: "acdefg", 7: "abc", 8: "abcdefg", 9: "abcdfg",
+    }
+    table: Dict[int, List[int]] = {}
+    for digit, lit in segments.items():
+        table[digit] = [ord(ch) - ord("a") for ch in lit]
+    return PLASpec.from_truth_table(4, table)

@@ -1,0 +1,250 @@
+"""Technology-aware gate primitives.
+
+:class:`Gates` builds classic 1984-vintage logic onto a
+:class:`~repro.netlist.Network`, choosing the right structure for the
+network's technology:
+
+* depletion-load nMOS — ratioed logic: enhancement pulldown network
+  against a depletion load;
+* CMOS — complementary pullup/pulldown networks.
+
+Series devices are widened by the stack depth so gate drive stays roughly
+constant, the standard sizing discipline of the era.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import NetlistError
+from ..netlist import Network
+from ..tech import DeviceKind
+from ..tech import cmos3 as _cmos
+from ..tech import nmos4 as _nmos
+
+
+class Gates:
+    """Gate-level construction helpers bound to one network."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.tech = network.tech
+        self.is_cmos = self.tech.has_kind(DeviceKind.PMOS)
+        if not self.is_cmos and not self.tech.has_kind(DeviceKind.NMOS_DEP):
+            raise NetlistError(
+                f"technology {self.tech.name!r} has neither PMOS nor "
+                "depletion devices; cannot build static gates"
+            )
+
+    # -- device sizing ----------------------------------------------------
+
+    def _nmos_geometry(self, size: float, stack: int = 1):
+        if self.is_cmos:
+            return _cmos.NMOS_W * size * stack, _cmos.NMOS_L
+        return _nmos.PULLDOWN_W * size * stack, _nmos.PULLDOWN_L
+
+    def _pullup_geometry(self, size: float, stack: int = 1):
+        if self.is_cmos:
+            return _cmos.PMOS_W * size * stack, _cmos.PMOS_L
+        return _nmos.LOAD_W * size, _nmos.LOAD_L
+
+    def _pass_geometry(self, size: float):
+        if self.is_cmos:
+            return _cmos.PASS_W * size, _cmos.PASS_L
+        return _nmos.PASS_W * size, _nmos.PASS_L
+
+    # -- basic gates --------------------------------------------------------
+
+    def inverter(self, a: str, y: str, size: float = 1.0) -> None:
+        """``y = not a``."""
+        net = self.network
+        w, l = self._nmos_geometry(size)
+        net.add_transistor(DeviceKind.NMOS_ENH, a, "gnd", y, width=w, length=l)
+        if self.is_cmos:
+            wp, lp = self._pullup_geometry(size)
+            net.add_transistor(DeviceKind.PMOS, a, "vdd", y, width=wp, length=lp)
+        else:
+            self._depletion_load(y, size)
+
+    def nand(self, inputs: Sequence[str], y: str, size: float = 1.0) -> None:
+        """``y = not (and inputs)``; 2-4 inputs are sensible."""
+        inputs = list(inputs)
+        if len(inputs) < 2:
+            raise NetlistError("nand needs at least two inputs")
+        net = self.network
+        stack = len(inputs)
+        w, l = self._nmos_geometry(size, stack=stack)
+        # Series pulldown chain gnd -> y.
+        previous = "gnd"
+        for i, a in enumerate(inputs):
+            node = y if i == len(inputs) - 1 else self._internal(y, f"s{i}")
+            net.add_transistor(DeviceKind.NMOS_ENH, a, previous, node,
+                               width=w, length=l)
+            previous = node
+        if self.is_cmos:
+            wp, lp = self._pullup_geometry(size)
+            for a in inputs:
+                net.add_transistor(DeviceKind.PMOS, a, "vdd", y,
+                                   width=wp, length=lp)
+        else:
+            self._depletion_load(y, size)
+
+    def nor(self, inputs: Sequence[str], y: str, size: float = 1.0) -> None:
+        """``y = not (or inputs)``."""
+        inputs = list(inputs)
+        if len(inputs) < 2:
+            raise NetlistError("nor needs at least two inputs")
+        net = self.network
+        w, l = self._nmos_geometry(size)
+        for a in inputs:
+            net.add_transistor(DeviceKind.NMOS_ENH, a, "gnd", y,
+                               width=w, length=l)
+        if self.is_cmos:
+            stack = len(inputs)
+            wp, lp = self._pullup_geometry(size, stack=stack)
+            wp = wp * stack  # widen the series pullups
+            previous = "vdd"
+            for i, a in enumerate(inputs):
+                node = y if i == len(inputs) - 1 else self._internal(y, f"p{i}")
+                net.add_transistor(DeviceKind.PMOS, a, previous, node,
+                                   width=wp, length=lp)
+                previous = node
+        else:
+            self._depletion_load(y, size)
+
+    def buffer(self, a: str, y: str, size: float = 1.0) -> None:
+        """Two inverters: ``y = a`` with restored drive."""
+        mid = self._internal(y, "buf")
+        self.inverter(a, mid, size=size)
+        self.inverter(mid, y, size=size)
+
+    def and_gate(self, inputs: Sequence[str], y: str, size: float = 1.0) -> None:
+        mid = self._internal(y, "nand")
+        self.nand(inputs, mid, size=size)
+        self.inverter(mid, y, size=size)
+
+    def or_gate(self, inputs: Sequence[str], y: str, size: float = 1.0) -> None:
+        mid = self._internal(y, "nor")
+        self.nor(inputs, mid, size=size)
+        self.inverter(mid, y, size=size)
+
+    def xor(self, a: str, b: str, y: str, size: float = 1.0) -> None:
+        """4-NAND exclusive-or (works in both technologies)."""
+        nab = self._internal(y, "nab")
+        na = self._internal(y, "na")
+        nb = self._internal(y, "nb")
+        self.nand([a, b], nab, size=size)
+        self.nand([a, nab], na, size=size)
+        self.nand([b, nab], nb, size=size)
+        self.nand([na, nb], y, size=size)
+
+    # -- pass logic -----------------------------------------------------------
+
+    def pass_nmos(self, ctrl: str, a: str, b: str, size: float = 1.0) -> None:
+        """An n-channel pass transistor between *a* and *b*."""
+        w, l = self._pass_geometry(size)
+        self.network.add_transistor(DeviceKind.NMOS_ENH, ctrl, a, b,
+                                    width=w, length=l)
+
+    def transmission_gate(self, ctrl: str, ctrl_n: str, a: str, b: str,
+                          size: float = 1.0) -> None:
+        """A full CMOS transmission gate (CMOS technologies only)."""
+        if not self.is_cmos:
+            raise NetlistError("transmission gates need a CMOS technology")
+        w, l = self._pass_geometry(size)
+        self.network.add_transistor(DeviceKind.NMOS_ENH, ctrl, a, b,
+                                    width=w, length=l)
+        self.network.add_transistor(DeviceKind.PMOS, ctrl_n, a, b,
+                                    width=2.0 * w, length=l)
+
+    def mux2(self, select: str, select_n: str, a: str, b: str, y: str,
+             size: float = 1.0) -> None:
+        """``y = a if select else b`` built from pass devices."""
+        if self.is_cmos:
+            self.transmission_gate(select, select_n, a, y, size=size)
+            self.transmission_gate(select_n, select, b, y, size=size)
+        else:
+            self.pass_nmos(select, a, y, size=size)
+            self.pass_nmos(select_n, b, y, size=size)
+
+    def gate_mux2(self, select: str, a: str, b: str, y: str,
+                  size: float = 1.0) -> None:
+        """``y = a if select else b`` in restoring gate logic (3 NANDs
+        plus the select inverter) — used where pass logic would degrade
+        levels, e.g. carry-select blocks."""
+        select_n = self._internal(y, "seln")
+        self.inverter(select, select_n, size=size)
+        pick_a = self._internal(y, "pa")
+        pick_b = self._internal(y, "pb")
+        self.nand([select, a], pick_a, size=size)
+        self.nand([select_n, b], pick_b, size=size)
+        self.nand([pick_a, pick_b], y, size=size)
+
+    # -- nMOS specials ---------------------------------------------------------
+
+    def _depletion_load(self, y: str, size: float) -> None:
+        self.network.add_transistor(
+            DeviceKind.NMOS_DEP, y, y, "vdd",
+            width=_nmos.LOAD_W * size, length=_nmos.LOAD_L,
+        )
+
+    def depletion_load(self, y: str, size: float = 1.0) -> None:
+        """An explicit depletion pullup on *y* (nMOS technologies)."""
+        if self.is_cmos:
+            raise NetlistError("depletion loads need an nMOS technology")
+        self._depletion_load(y, size)
+
+    def bootstrap_driver(self, a: str, y: str, size: float = 1.0,
+                         boot_cap: float = 60e-15) -> None:
+        """nMOS bootstrap super-buffer: an inverter whose pullup gate is
+        capacitively boosted above Vdd so the output rises to a full level
+        quickly.  The classic circuit the paper's test set exercises because
+        constant-resistance models cannot capture it.
+
+        Structure: inverter ``a -> xn``; pullup enhancement device gated by
+        ``boot`` (precharged through an always-on depletion device from
+        Vdd) driving ``y``; bootstrap capacitor from ``y`` back to ``boot``;
+        pulldown on ``y`` gated by ``a``.
+        """
+        if self.is_cmos:
+            raise NetlistError("the bootstrap driver is an nMOS circuit")
+        net = self.network
+        boot = self._internal(y, "boot")
+        w, l = self._nmos_geometry(size)
+        # Precharge of the boot node through a depletion "isolation" device.
+        net.add_transistor(DeviceKind.NMOS_DEP, boot, boot, "vdd",
+                           width=_nmos.LOAD_W * size, length=_nmos.LOAD_L)
+        # Output pullup: enhancement device gated by the boosted node.
+        net.add_transistor(DeviceKind.NMOS_ENH, boot, "vdd", y,
+                           width=w * 2.0, length=l)
+        # Output pulldown gated by the input.
+        net.add_transistor(DeviceKind.NMOS_ENH, a, "gnd", y,
+                           width=w, length=l)
+        # Keep boot low while the input is high (so it can snap up later).
+        net.add_transistor(DeviceKind.NMOS_ENH, a, "gnd", boot,
+                           width=_nmos.PASS_W * size, length=_nmos.PASS_L)
+        # The bootstrap capacitor couples the rising output into boot.
+        net.add_capacitor(y, boot, boot_cap)
+
+    # -- misc -----------------------------------------------------------------
+
+    def load_cap(self, node: str, capacitance: float) -> None:
+        """Attach an explicit load capacitance (models fanout wiring)."""
+        self.network.add_capacitor(node, "gnd", capacitance)
+
+    def fanout_inverters(self, node: str, count: int, size: float = 1.0) -> List[str]:
+        """*count* inverter loads on a node; returns their output names."""
+        outputs = []
+        for i in range(count):
+            out = self._internal(node, f"fo{i}")
+            self.inverter(node, out, size=size)
+            outputs.append(out)
+        return outputs
+
+    def _internal(self, base: str, suffix: str) -> str:
+        name = f"{base}.{suffix}"
+        counter = 0
+        while self.network.has_node(name):
+            counter += 1
+            name = f"{base}.{suffix}{counter}"
+        return name

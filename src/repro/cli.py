@@ -1,0 +1,258 @@
+"""``repro-crystal`` — the command-line face of the reproduction.
+
+Crystal was an interactive tool fed with a ``.sim`` netlist and a handful
+of commands; this CLI reproduces that workflow non-interactively:
+
+.. code-block:: sh
+
+    repro-crystal validate  adder.sim --tech cmos3
+    repro-crystal switch    adder.sim --tech cmos3 --set a0=1 --set b0=0
+    repro-crystal timing    adder.sim --tech cmos3 --input "cin=0" \
+                            --model slope --report cout
+    repro-crystal hazards   datapath.sim --tech nmos4
+    repro-crystal characterize --tech nmos4 --output tables.json
+
+Timing ``--input`` syntax: ``name=TIME`` (both edges), ``name=TIMEr``
+(rising edge only), ``name=TIMEf`` (falling only), ``name=-`` (static side
+input, no events).  Times accept engineering suffixes (``2n``, ``500p``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from .core.models import (
+    LumpedRCModel,
+    RCTreeModel,
+    SlopeModel,
+    characterize_technology,
+)
+from .core.models.characterize import table_summary
+from .core.timing import (
+    InputSpec,
+    TimingAnalyzer,
+    arrival_table,
+    find_charge_sharing_hazards,
+    format_critical_path,
+    format_hazard_report,
+    format_worst_paths,
+)
+from .errors import ReproError
+from .netlist import Network, sim_format, spice_format, validate_network
+from .switchlevel import Logic, SwitchSimulator
+from .tech import CMOS3, NMOS4, Technology, Transition
+from .units import parse_value
+
+TECHNOLOGIES: Dict[str, Technology] = {"nmos4": NMOS4, "cmos3": CMOS3}
+
+MODELS = {
+    "lumped-rc": LumpedRCModel,
+    "rc-tree": RCTreeModel,
+    "slope": SlopeModel,
+}
+
+
+def _tech(name: str, characterized: bool) -> Technology:
+    try:
+        base = TECHNOLOGIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown technology {name!r}; choose from "
+            f"{', '.join(sorted(TECHNOLOGIES))}"
+        ) from None
+    return characterize_technology(base) if characterized else base
+
+
+def _load(path: str, tech: Technology) -> Network:
+    if path.endswith((".sp", ".spi", ".spice", ".cir")):
+        network, _ = spice_format.load(path, tech)
+        return network
+    return sim_format.load(path, tech)
+
+
+def _parse_timing_input(token: str) -> tuple:
+    """``name=TIME``, ``name=TIME:rise``, ``name=TIME:fall`` or ``name=-``."""
+    if "=" not in token:
+        raise ReproError(f"bad --input {token!r}; expected name=TIME")
+    name, value = token.split("=", 1)
+    value = value.strip()
+    if value == "-":
+        return name, InputSpec(arrival_rise=None, arrival_fall=None)
+    edge = "both"
+    if ":" in value:
+        value, edge = value.rsplit(":", 1)
+        if edge not in ("rise", "fall"):
+            raise ReproError(f"bad edge tag {edge!r}; use :rise or :fall")
+    time = parse_value(value)
+    if edge == "rise":
+        return name, InputSpec(arrival_rise=time, arrival_fall=None)
+    if edge == "fall":
+        return name, InputSpec(arrival_rise=None, arrival_fall=time)
+    return name, InputSpec(arrival_rise=time, arrival_fall=time)
+
+
+def _parse_set(token: str) -> tuple:
+    if "=" not in token:
+        raise ReproError(f"bad --set {token!r}; expected name=0|1|x")
+    name, value = token.split("=", 1)
+    mapping = {"0": Logic.ZERO, "1": Logic.ONE, "x": Logic.X, "X": Logic.X}
+    try:
+        return name, mapping[value.strip()]
+    except KeyError:
+        raise ReproError(f"bad logic value {value!r} in --set") from None
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    tech = _tech(args.tech, characterized=False)
+    network = _load(args.netlist, tech)
+    print(network.summary())
+    findings = validate_network(network)
+    if not findings:
+        print("validation: clean")
+        return 0
+    for finding in findings:
+        print(finding)
+    errors = [f for f in findings if f.severity.value == "error"]
+    return 1 if errors else 0
+
+
+def cmd_switch(args: argparse.Namespace) -> int:
+    tech = _tech(args.tech, characterized=False)
+    network = _load(args.netlist, tech)
+    sim = SwitchSimulator(network)
+    for token in args.set or []:
+        name, value = _parse_set(token)
+        sim.set_input(name, value)
+    sim.settle()
+    names = args.show or sorted(
+        n.name for n in network.signal_nodes)
+    for name in names:
+        print(f"{name} = {sim.value(name)}")
+    return 0
+
+
+def cmd_timing(args: argparse.Namespace) -> int:
+    tech = _tech(args.tech, characterized=not args.no_characterize)
+    network = _load(args.netlist, tech)
+    model = MODELS[args.model]()
+    slope = parse_value(args.slope) if args.slope else 0.0
+    inputs = {}
+    for token in args.input or []:
+        name, spec = _parse_timing_input(token)
+        if slope and (spec.arrival_rise is not None
+                      or spec.arrival_fall is not None):
+            spec = InputSpec(arrival_rise=spec.arrival_rise,
+                             arrival_fall=spec.arrival_fall, slope=slope)
+        inputs[name] = spec
+    analyzer = TimingAnalyzer(network, model=model)
+    result = analyzer.analyze(inputs)
+
+    if args.report:
+        for node in args.report:
+            for transition in Transition:
+                if result.has_arrival(node, transition):
+                    print(format_critical_path(result, node, transition))
+                    print()
+    else:
+        print(format_worst_paths(result, count=args.count))
+        print()
+        print(arrival_table(result))
+    return 0
+
+
+def cmd_hazards(args: argparse.Namespace) -> int:
+    tech = _tech(args.tech, characterized=False)
+    network = _load(args.netlist, tech)
+    states = dict(_parse_set(t) for t in args.set or []) or None
+    hazards = find_charge_sharing_hazards(network, states,
+                                          threshold=args.threshold)
+    print(format_hazard_report(hazards))
+    return 1 if hazards and args.strict else 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    tech = _tech(args.tech, characterized=True)
+    print(table_summary(tech))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(tech.slope_tables.to_dict(), handle, indent=2)
+        print(f"tables written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-crystal",
+        description="Switch-level delay analysis (Ousterhout, DAC 1984)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, netlist=True):
+        if netlist:
+            p.add_argument("netlist", help=".sim or SPICE-subset file")
+        p.add_argument("--tech", default="cmos3",
+                       choices=sorted(TECHNOLOGIES),
+                       help="technology (default: cmos3)")
+
+    p = sub.add_parser("validate", help="netlist sanity checks")
+    add_common(p)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("switch", help="switch-level steady state")
+    add_common(p)
+    p.add_argument("--set", action="append", metavar="NODE=0|1|x",
+                   help="force an input (repeatable)")
+    p.add_argument("--show", action="append", metavar="NODE",
+                   help="nodes to print (default: all signals)")
+    p.set_defaults(func=cmd_switch)
+
+    p = sub.add_parser("timing", help="static timing analysis")
+    add_common(p)
+    p.add_argument("--input", action="append", metavar="NODE=TIME[r|f]|-",
+                   help="primary input timing (repeatable)")
+    p.add_argument("--model", default="slope", choices=sorted(MODELS))
+    p.add_argument("--slope", metavar="TIME",
+                   help="input transition time (e.g. 500p)")
+    p.add_argument("--report", action="append", metavar="NODE",
+                   help="print the critical path to NODE")
+    p.add_argument("--count", type=int, default=5,
+                   help="worst arrivals to list (default 5)")
+    p.add_argument("--no-characterize", action="store_true",
+                   help="use analytic default tables (fast, less accurate)")
+    p.set_defaults(func=cmd_timing)
+
+    p = sub.add_parser("hazards", help="charge-sharing hazard scan")
+    add_common(p)
+    p.add_argument("--set", action="append", metavar="NODE=0|1|x")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="minimum level loss reported (default 0.25)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero when hazards are found")
+    p.set_defaults(func=cmd_hazards)
+
+    p = sub.add_parser("characterize", help="fit and dump slope tables")
+    add_common(p, netlist=False)
+    p.add_argument("--output", "-o", metavar="FILE.json")
+    p.set_defaults(func=cmd_characterize)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

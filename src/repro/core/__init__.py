@@ -1,0 +1,31 @@
+"""The paper's contribution: delay models and the static timing analyzer."""
+
+from . import models, timing
+from .models import (
+    DelayModel,
+    LumpedRCModel,
+    RCTreeModel,
+    SlopeModel,
+    StageDelay,
+    StageRequest,
+    characterize_technology,
+    standard_models,
+)
+from .timing import InputSpec, TimingAnalyzer, TimingResult, analyze
+
+__all__ = [
+    "models",
+    "timing",
+    "DelayModel",
+    "LumpedRCModel",
+    "RCTreeModel",
+    "SlopeModel",
+    "StageDelay",
+    "StageRequest",
+    "characterize_technology",
+    "standard_models",
+    "InputSpec",
+    "TimingAnalyzer",
+    "TimingResult",
+    "analyze",
+]

@@ -1,0 +1,40 @@
+"""The lumped RC model (the paper's simplest).
+
+Every stage collapses to a single resistance — the sum of the static
+effective resistances along the switching path — and a single capacitance —
+*all* the capacitance in the stage's tree, as if it all sat at the far end.
+The stage delay is simply ``R_total * C_total``.
+
+This is fast and usually pessimistic (a factor approaching 2 on long pass
+chains, where the distributed structure means most capacitance does *not*
+see the whole path resistance), and it knows nothing about input slope, so
+slowly driven stages are *under*-estimated.  Reproducing both failure modes
+is the point of experiments F2 and F3.
+"""
+
+from __future__ import annotations
+
+from .base import DelayModel, StageDelay, StageRequest, default_step_slope_factor
+
+
+class LumpedRCModel(DelayModel):
+    """``delay = (sum of path R) * (sum of all C)``."""
+
+    name = "lumped-rc"
+
+    def evaluate(self, request: StageRequest) -> StageDelay:
+        resistance = request.tree.path_resistance(request.target)
+        capacitance = request.tree.total_cap()
+        delay = resistance * capacitance
+        slope = default_step_slope_factor() * delay
+        return StageDelay(
+            delay=delay,
+            output_slope=slope,
+            lower=delay,
+            upper=delay,
+            model=self.name,
+            details=(
+                ("path_resistance", resistance),
+                ("total_capacitance", capacitance),
+            ),
+        )

@@ -1,0 +1,82 @@
+"""The slope model — the paper's main contribution.
+
+The constant-resistance models assume every stage is driven by an ideal
+step.  Real stages are driven by the finite edges of the previous stage,
+and a transistor that is still half-way through turning on presents a much
+larger effective resistance.  The slope model captures this with one
+number per stage, the **slope ratio**
+
+    ``r = input_transition_time / tau``
+
+where ``tau`` is the stage's intrinsic time constant (here: the Elmore
+delay of its RC tree, which reduces to ``R*C`` for a single lumped node).
+Characterized tables (per device kind and output direction, fitted against
+the reference simulator — see :mod:`repro.core.models.characterize`) then
+give
+
+    ``delay        = delay_factor(r)  * tau``
+    ``output_slope = slope_factor(r)  * tau``
+
+and the output slope feeds the next stage, so slow edges propagate through
+chains exactly the way they do in circuit simulation.  Ablation A1 removes
+the propagation (every stage pretends ``r = 0``) and shows the accuracy
+collapse.
+"""
+
+from __future__ import annotations
+
+from ...errors import TechnologyError, TimingError
+from ...rctree import time_constants
+from ...tech import SlopeTableSet
+from .base import DelayModel, StageDelay, StageRequest
+
+
+class SlopeModel(DelayModel):
+    """Slope-ratio-dependent effective resistance with slope propagation."""
+
+    name = "slope"
+
+    def __init__(self, tables: SlopeTableSet = None,
+                 propagate_slopes: bool = True):
+        """*tables* overrides the technology's own slope tables (used by
+        the characterization tests); *propagate_slopes* = False is the A1
+        ablation switch."""
+        self._tables = tables
+        self.propagate_slopes = propagate_slopes
+
+    def _table_set(self, request: StageRequest) -> SlopeTableSet:
+        if self._tables is not None:
+            return self._tables
+        tables = request.tech.slope_tables
+        if tables is None:
+            raise TechnologyError(
+                f"technology {request.tech.name!r} has no slope tables; "
+                "run characterize_technology() or use the analytic defaults"
+            )
+        return tables
+
+    def evaluate(self, request: StageRequest) -> StageDelay:
+        constants = time_constants(request.tree, request.target)
+        tau = constants.t_d
+        if tau <= 0:
+            raise TimingError(
+                f"stage tree for {request.target!r} has zero time constant"
+            )
+        table = self._table_set(request).get(request.trigger_kind,
+                                             request.transition)
+        ratio = (request.input_slope / tau) if self.propagate_slopes else 0.0
+        delay = table.delay_factor(ratio) * tau
+        slope = table.slope_factor(ratio) * tau
+        return StageDelay(
+            delay=delay,
+            output_slope=slope,
+            lower=delay,
+            upper=delay,
+            model=self.name,
+            details=(
+                ("tau", tau),
+                ("slope_ratio", ratio),
+                ("delay_factor", table.delay_factor(ratio)),
+                ("slope_factor", table.slope_factor(ratio)),
+            ),
+        )

@@ -1,0 +1,353 @@
+"""The static timing analyzer (the Crystal of the reproduction).
+
+Event-driven worst-case arrival propagation over the stage graph:
+
+1. every primary input contributes an initial event (rise and/or fall at a
+   user-given time and slope);
+2. whenever a node's arrival for some transition improves (gets *later*),
+   every stage the node gates or feeds is re-evaluated;
+3. a stage evaluation enumerates the sensitizable paths to each of its
+   internal nodes (see :mod:`repro.core.timing.paths`), asks the configured
+   delay model for each (path, trigger) whose trigger already has an
+   arrival, and keeps the worst;
+4. the process reaches a fixpoint because arrivals only ever increase; an
+   iteration cap catches genuine timing loops.
+
+The result records, for every (node, transition), the arrival time, the
+propagated slope, and the causal link used — enough to reconstruct the
+critical path stage by stage (:mod:`repro.core.timing.report`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ...errors import TimingError
+from ...netlist import Network
+from ...netlist.stages import Stage
+from ...rctree import RCTree
+from ...switchlevel import Logic
+from ...tech import Transition
+from ..models import DelayModel, SlopeModel, StageDelay
+from .paths import SensitizedPath, StateMap, Trigger, build_tree, enumerate_paths
+from ..models.base import StageRequest
+from .stage_graph import StageGraph
+
+#: Arrivals closer than this (relative to the largest magnitude seen) are
+#: considered equal — stops slope jitter from causing endless revisits.
+_RELATIVE_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class Event:
+    """A (node, transition) pair — the unit timing is attached to."""
+
+    node: str
+    transition: Transition
+
+    def __str__(self) -> str:
+        arrow = "↑" if self.transition is Transition.RISE else "↓"
+        return f"{self.node}{arrow}"
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Timing of a primary input.
+
+    ``None`` for an arrival disables that edge (e.g. a clock held low).
+    ``slope`` is the full-swing transition time of the input's edges.
+    """
+
+    arrival_rise: Optional[float] = 0.0
+    arrival_fall: Optional[float] = 0.0
+    slope: float = 0.0
+
+    def arrival(self, transition: Transition) -> Optional[float]:
+        return (self.arrival_rise if transition is Transition.RISE
+                else self.arrival_fall)
+
+
+@dataclass
+class Arrival:
+    """Worst-case arrival of one event, with its causal link."""
+
+    time: float
+    slope: float
+    cause: Optional[Event] = None
+    stage_delay: Optional[StageDelay] = None
+    path: Optional[SensitizedPath] = None
+    trigger: Optional[Trigger] = None
+
+    @property
+    def is_primary(self) -> bool:
+        return self.cause is None
+
+
+@dataclass
+class TimingResult:
+    """Complete analysis output."""
+
+    network: Network
+    model_name: str
+    arrivals: Dict[Event, Arrival]
+
+    def arrival(self, node: str, transition: Transition) -> Arrival:
+        from ...errors import NetlistError
+        try:
+            name = self.network.node(node).name
+        except NetlistError as exc:
+            raise TimingError(str(exc)) from exc
+        event = Event(name, transition)
+        try:
+            return self.arrivals[event]
+        except KeyError:
+            raise TimingError(
+                f"no arrival computed for {event} (unreachable from the "
+                "driven inputs?)"
+            ) from None
+
+    def has_arrival(self, node: str, transition: Transition) -> bool:
+        return Event(self.network.node(node).name, transition) in self.arrivals
+
+    def worst(self, nodes: Optional[List[str]] = None) -> Tuple[Event, Arrival]:
+        """The latest event over *nodes* (default: every computed event)."""
+        candidates = self.arrivals.items()
+        if nodes is not None:
+            wanted = {self.network.node(n).name for n in nodes}
+            candidates = [(e, a) for e, a in candidates if e.node in wanted]
+            if not candidates:
+                raise TimingError("no arrivals for the requested nodes")
+        if not self.arrivals:
+            raise TimingError("analysis produced no arrivals")
+        return max(candidates, key=lambda item: item[1].time)
+
+    def critical_path(self, node: str,
+                      transition: Transition) -> List[Tuple[Event, Arrival]]:
+        """The causal chain ending at (node, transition), input first."""
+        chain: List[Tuple[Event, Arrival]] = []
+        event = Event(self.network.node(node).name, transition)
+        guard = 0
+        while True:
+            arrival = self.arrivals.get(event)
+            if arrival is None:
+                raise TimingError(f"no arrival for {event}")
+            chain.append((event, arrival))
+            if arrival.cause is None:
+                break
+            event = arrival.cause
+            guard += 1
+            if guard > len(self.arrivals) + 1:
+                raise TimingError("cycle in critical-path back-pointers")
+        chain.reverse()
+        return chain
+
+
+class TimingAnalyzer:
+    """Configure once, analyze many input scenarios.
+
+    Parameters
+    ----------
+    network:
+        The circuit.
+    model:
+        Delay model (default: the slope model, the paper's recommendation).
+    states:
+        Optional node → :class:`~repro.switchlevel.Logic` map of the
+        settled state *after* the analyzed input event, used for path
+        sensitization and event pruning (usually from a
+        :class:`~repro.switchlevel.SwitchSimulator`).  ``None`` analyzes
+        pessimistically, treating every unknown as possible.
+    initial_states:
+        Optional map of the state *before* the event.  When both maps are
+        given, nodes whose value provably does not change produce no
+        events — the single-vector transition pruning Crystal performed
+        with simulator-supplied node values.
+    """
+
+    #: Re-evaluations of one stage before declaring a timing loop.  Deep
+    #: reconvergent circuits legitimately revisit stages as upstream
+    #: arrivals improve, so this is generous; genuine loops grow without
+    #: bound and still trip it.
+    MAX_STAGE_VISITS = 400
+
+    def __init__(self, network: Network, model: Optional[DelayModel] = None,
+                 states: Optional[StateMap] = None,
+                 initial_states: Optional[StateMap] = None):
+        self.network = network
+        self.model = model if model is not None else SlopeModel()
+        self.states = states
+        self.initial_states = initial_states
+        self.graph = StageGraph.build(network)
+        # Per-(stage, node, transition) path cache and per-path tree cache.
+        self._paths: Dict[Tuple[int, str, Transition],
+                          List[SensitizedPath]] = {}
+        self._trees: Dict[Tuple[int, str, Transition, int], RCTree] = {}
+
+    # ------------------------------------------------------------------
+
+    def analyze(self, inputs: Mapping[str, Union[InputSpec, float]]
+                ) -> TimingResult:
+        """Propagate arrivals from the given primary-input timing.
+
+        *inputs* maps input node names to :class:`InputSpec` (or a bare
+        number, shorthand for "both edges at that time, step slope").
+        Every primary input of the network must be covered.
+        """
+        arrivals: Dict[Event, Arrival] = {}
+        normalized = self._normalize_inputs(inputs)
+        dirty: List[Stage] = []
+        seen_dirty = set()
+
+        def mark(node: str) -> None:
+            for stage in self.graph.affected_stages(node):
+                if stage.index not in seen_dirty:
+                    seen_dirty.add(stage.index)
+                    dirty.append(stage)
+
+        for name, spec in normalized.items():
+            for transition in Transition:
+                time = spec.arrival(transition)
+                if time is None:
+                    continue
+                arrivals[Event(name, transition)] = Arrival(
+                    time=time, slope=spec.slope)
+            mark(name)
+
+        visits: Dict[int, int] = {}
+        while dirty:
+            stage = dirty.pop(0)
+            seen_dirty.discard(stage.index)
+            visits[stage.index] = visits.get(stage.index, 0) + 1
+            if visits[stage.index] > self.MAX_STAGE_VISITS:
+                nodes = ", ".join(sorted(stage.internal_nodes))
+                raise TimingError(f"timing loop through stage [{nodes}]")
+            for changed_node in self._evaluate_stage(stage, arrivals):
+                mark(changed_node)
+
+        return TimingResult(network=self.network,
+                            model_name=self.model.name, arrivals=arrivals)
+
+    # ------------------------------------------------------------------
+
+    def _normalize_inputs(self, inputs: Mapping[str, Union[InputSpec, float]]
+                          ) -> Dict[str, InputSpec]:
+        normalized: Dict[str, InputSpec] = {}
+        for name, spec in inputs.items():
+            node = self.network.node(name)
+            if node.is_supply:
+                raise TimingError(f"cannot time a supply rail {name!r}")
+            if not isinstance(spec, InputSpec):
+                spec = InputSpec(arrival_rise=float(spec),
+                                 arrival_fall=float(spec))
+            normalized[node.name] = spec
+        missing = [n.name for n in self.network.inputs()
+                   if n.name not in normalized]
+        if missing:
+            raise TimingError(
+                "primary inputs without timing: " + ", ".join(sorted(missing))
+            )
+        return normalized
+
+    def _stage_paths(self, stage: Stage, node: str,
+                     transition: Transition) -> List[SensitizedPath]:
+        key = (stage.index, node, transition)
+        if key not in self._paths:
+            self._paths[key] = enumerate_paths(
+                self.network, stage, node, transition, self.states)
+        return self._paths[key]
+
+    def _tree_for(self, stage: Stage, path: SensitizedPath,
+                  order: int) -> RCTree:
+        key = (stage.index, path.target, path.transition, order)
+        if key not in self._trees:
+            self._trees[key] = build_tree(self.network, stage, path,
+                                          states=self.states)
+        return self._trees[key]
+
+    def _evaluate_stage(self, stage: Stage,
+                        arrivals: Dict[Event, Arrival]) -> List[str]:
+        """Recompute every internal-node arrival; return changed nodes."""
+        changed: List[str] = []
+        for node in sorted(stage.internal_nodes):
+            for transition in Transition:
+                if not self._event_allowed(node, transition):
+                    continue
+                best = self._best_arrival(stage, node, transition, arrivals)
+                if best is None:
+                    continue
+                event = Event(node, transition)
+                current = arrivals.get(event)
+                if current is not None and not self._is_later(best, current):
+                    continue
+                arrivals[event] = best
+                if node not in changed:
+                    changed.append(node)
+        return changed
+
+    def _event_allowed(self, node: str, transition: Transition) -> bool:
+        """Can (node, transition) occur at all under the supplied states?
+
+        An event ending at level ``v`` requires the post-transition state
+        to be ``v`` (or unknown); with both state maps, a node whose known
+        value is unchanged produces no event in a single-vector analysis.
+        """
+        if self.states is None:
+            return True
+        post = self.states.get(node, Logic.X)
+        final = Logic.ONE if transition is Transition.RISE else Logic.ZERO
+        if post is not Logic.X and post is not final:
+            return False
+        if self.initial_states is not None:
+            pre = self.initial_states.get(node, Logic.X)
+            if pre is not Logic.X and pre is post:
+                return False
+        return True
+
+    @staticmethod
+    def _is_later(candidate: Arrival, current: Arrival) -> bool:
+        scale = max(abs(candidate.time), abs(current.time), 1e-30)
+        return candidate.time > current.time + _RELATIVE_EPSILON * scale
+
+    def _best_arrival(self, stage: Stage, node: str, transition: Transition,
+                      arrivals: Dict[Event, Arrival]) -> Optional[Arrival]:
+        best: Optional[Arrival] = None
+        for order, path in enumerate(self._stage_paths(stage, node,
+                                                       transition)):
+            for trigger in path.triggers:
+                event = Event(trigger.input_node, trigger.input_transition)
+                upstream = arrivals.get(event)
+                if upstream is None:
+                    continue
+                tree = self._tree_for(stage, path, order)
+                request = StageRequest(
+                    tree=tree,
+                    target=node,
+                    transition=transition,
+                    trigger_kind=trigger.device_kind,
+                    input_slope=max(upstream.slope, 0.0),
+                    tech=self.network.tech,
+                )
+                result = self.model.evaluate(request)
+                candidate = Arrival(
+                    time=upstream.time + result.delay,
+                    slope=result.output_slope,
+                    cause=event,
+                    stage_delay=result,
+                    path=path,
+                    trigger=trigger,
+                )
+                if best is None or candidate.time > best.time:
+                    best = candidate
+        return best
+
+
+def analyze(network: Network, inputs: Mapping[str, Union[InputSpec, float]],
+            model: Optional[DelayModel] = None,
+            states: Optional[StateMap] = None,
+            initial_states: Optional[StateMap] = None) -> TimingResult:
+    """One-shot convenience wrapper around :class:`TimingAnalyzer`."""
+    analyzer = TimingAnalyzer(network, model=model, states=states,
+                              initial_states=initial_states)
+    return analyzer.analyze(inputs)

@@ -1,0 +1,287 @@
+"""Clocked-circuit timing: phase schedules and setup checks.
+
+Crystal's day job was verifying clocked nMOS/CMOS chips: two-phase dynamic
+logic where data races the clock through pass transistors.  This module
+reproduces that workflow on top of the core analyzer:
+
+* a :class:`ClockSchedule` gives each clock phase its rising and falling
+  instants within one cycle;
+* :func:`analyze_clocked` turns the schedule plus data-input timing into
+  ordinary analyzer input specs and runs the analysis;
+* :func:`setup_checks` then walks every clock-gated pass device and
+  verifies that the data arriving at the storage node behind it settles
+  before the phase closes — reporting the slack of each check, Crystal's
+  core output for clocked designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from ...errors import TimingError
+from ...netlist import Network
+from ...netlist.stages import StageMap
+from ...tech import DeviceKind, Transition
+from ..models import DelayModel
+from .analyzer import InputSpec, TimingAnalyzer, TimingResult
+from .paths import StateMap
+
+
+@dataclass(frozen=True)
+class ClockPhase:
+    """One clock phase within the cycle: rises at *rise*, falls at *fall*."""
+
+    name: str
+    rise: float
+    fall: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rise < self.fall:
+            raise TimingError(
+                f"phase {self.name!r}: need 0 <= rise < fall, got "
+                f"[{self.rise:g}, {self.fall:g}]"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.fall - self.rise
+
+
+@dataclass
+class ClockSchedule:
+    """A cycle period and its (non-overlapping, by convention) phases."""
+
+    period: float
+    phases: Dict[str, ClockPhase] = field(default_factory=dict)
+    clock_slope: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise TimingError("clock period must be positive")
+        for phase in self.phases.values():
+            if phase.fall > self.period:
+                raise TimingError(
+                    f"phase {phase.name!r} extends past the period"
+                )
+
+    @classmethod
+    def two_phase(cls, period: float, separation: float = 0.0,
+                  clock_slope: float = 0.0) -> "ClockSchedule":
+        """The classic non-overlapping two-phase scheme: phi1 occupies the
+        first half-cycle, phi2 the second, separated by *separation*."""
+        half = period / 2.0
+        if separation < 0 or separation >= half:
+            raise TimingError("separation must be in [0, period/2)")
+        return cls(
+            period=period,
+            phases={
+                "phi1": ClockPhase("phi1", 0.0, half - separation),
+                "phi2": ClockPhase("phi2", half, period - separation),
+            },
+            clock_slope=clock_slope,
+        )
+
+    def phase(self, name: str) -> ClockPhase:
+        try:
+            return self.phases[name]
+        except KeyError:
+            raise TimingError(f"unknown clock phase {name!r}") from None
+
+
+@dataclass(frozen=True)
+class SetupCheck:
+    """One data-versus-phase-close race.
+
+    ``slack = required - arrival``: negative slack is a setup violation —
+    the storage node behind the clocked pass device is still moving when
+    the phase shuts.
+    """
+
+    storage_node: str
+    clock_node: str
+    phase: str
+    device: str
+    arrival: float
+    required: float
+
+    @property
+    def slack(self) -> float:
+        return self.required - self.arrival
+
+    @property
+    def ok(self) -> bool:
+        return self.slack >= 0.0
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "VIOLATION"
+        return (f"{self.storage_node}: data {self.arrival * 1e9:.3f}ns vs "
+                f"{self.phase} close {self.required * 1e9:.3f}ns -> "
+                f"slack {self.slack * 1e9:+.3f}ns [{verdict}] "
+                f"(through {self.device}, clocked by {self.clock_node})")
+
+
+@dataclass
+class ClockedTimingResult:
+    """Analysis result plus the schedule it was run against."""
+
+    result: TimingResult
+    schedule: ClockSchedule
+    clocks: Dict[str, str]  # clock node -> phase name
+    checks: List[SetupCheck] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[SetupCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def worst_slack(self) -> Optional[float]:
+        if not self.checks:
+            return None
+        return min(c.slack for c in self.checks)
+
+
+def clock_input_spec(phase: ClockPhase, slope: float) -> InputSpec:
+    """The analyzer spec of a clock node for one cycle of its phase."""
+    return InputSpec(arrival_rise=phase.rise, arrival_fall=phase.fall,
+                     slope=slope)
+
+
+def analyze_clocked(network: Network,
+                    data_inputs: Mapping[str, Union[InputSpec, float]],
+                    clocks: Mapping[str, str],
+                    schedule: ClockSchedule,
+                    model: Optional[DelayModel] = None,
+                    states: Optional[StateMap] = None) -> ClockedTimingResult:
+    """Run a clocked analysis and its setup checks.
+
+    *clocks* maps clock input nodes to phase names of *schedule*; every
+    remaining primary input needs an entry in *data_inputs* (data launched
+    by a phase is typically given the phase's rise time as its arrival).
+    """
+    inputs: Dict[str, Union[InputSpec, float]] = dict(data_inputs)
+    phase_of_clock: Dict[str, str] = {}
+    for node, phase_name in clocks.items():
+        phase = schedule.phase(phase_name)
+        name = network.node(node).name
+        inputs[name] = clock_input_spec(phase, schedule.clock_slope)
+        phase_of_clock[name] = phase_name
+
+    analyzer = TimingAnalyzer(network, model=model, states=states)
+    result = analyzer.analyze(inputs)
+    checks = setup_checks(network, result, phase_of_clock, schedule)
+    return ClockedTimingResult(result=result, schedule=schedule,
+                               clocks=phase_of_clock, checks=checks)
+
+
+def setup_checks(network: Network, result: TimingResult,
+                 clocks: Mapping[str, str],
+                 schedule: ClockSchedule) -> List[SetupCheck]:
+    """One check per (clock-gated pass device, storage terminal).
+
+    The storage node behind an n-channel device clocked by phase P must be
+    settled before P falls (for a p-channel clocked device, before P
+    rises).  The data arrival used is the *latest* computed transition of
+    the storage node; nodes with no computed arrival (never exercised by
+    the analyzed vectors) are skipped.
+    """
+    stage_map = StageMap.build(network)
+    checks: List[SetupCheck] = []
+    for clock_node, phase_name in clocks.items():
+        phase = schedule.phase(phase_name)
+        for device in network.transistors_gated_by(clock_node):
+            close_time = (phase.fall
+                          if device.kind is not DeviceKind.PMOS
+                          else phase.rise)
+            for terminal in device.channel:
+                if stage_map.maybe(terminal) is None:
+                    continue  # driven node, not storage
+                arrivals = [
+                    result.arrival(terminal, transition).time
+                    for transition in Transition
+                    if result.has_arrival(terminal, transition)
+                ]
+                if not arrivals:
+                    continue
+                checks.append(SetupCheck(
+                    storage_node=terminal,
+                    clock_node=clock_node,
+                    phase=phase_name,
+                    device=device.name,
+                    arrival=max(arrivals),
+                    required=close_time,
+                ))
+    checks.sort(key=lambda c: c.slack)
+    return checks
+
+
+def format_setup_report(clocked: ClockedTimingResult) -> str:
+    """Crystal-style setup summary, worst slack first."""
+    lines = [
+        f"setup checks (period {clocked.schedule.period * 1e9:.2f}ns, "
+        f"model {clocked.result.model_name})"
+    ]
+    if not clocked.checks:
+        lines.append("  (no clocked storage found)")
+        return "\n".join(lines)
+    for check in clocked.checks:
+        lines.append("  " + str(check))
+    worst = clocked.worst_slack()
+    lines.append(f"worst slack: {worst * 1e9:+.3f}ns; "
+                 f"{len(clocked.violations)} violation(s)")
+    return "\n".join(lines)
+
+
+def minimum_period(network: Network,
+                   data_inputs: Mapping[str, Union[InputSpec, float]],
+                   clocks: Mapping[str, str],
+                   template: ClockSchedule,
+                   model: Optional[DelayModel] = None,
+                   states: Optional[StateMap] = None,
+                   tolerance: float = 0.02,
+                   max_iterations: int = 40) -> float:
+    """Binary-search the smallest period (scaling *template*) with no
+    setup violations — 'how fast can this chip clock', the question
+    Crystal was built to answer."""
+    def passes(period: float) -> bool:
+        scale = period / template.period
+        schedule = ClockSchedule(
+            period=period,
+            phases={
+                name: ClockPhase(name, p.rise * scale, p.fall * scale)
+                for name, p in template.phases.items()
+            },
+            clock_slope=template.clock_slope,
+        )
+        clocked = analyze_clocked(network, data_inputs, clocks, schedule,
+                                  model=model, states=states)
+        worst = clocked.worst_slack()
+        return worst is None or worst >= 0.0
+
+    low = template.period
+    high = template.period
+    # Find a passing upper bound.
+    for _ in range(max_iterations):
+        if passes(high):
+            break
+        high *= 2.0
+    else:
+        raise TimingError("no passing period found (combinational loop?)")
+    # Find a failing lower bound (or accept the template's own period).
+    for _ in range(max_iterations):
+        candidate = low / 2.0
+        if passes(candidate):
+            low = candidate
+        else:
+            break
+        if low < 1e-15:
+            return low
+    lo_fail, hi_pass = low / 2.0, high
+    if passes(low):
+        hi_pass = low
+    while (hi_pass - lo_fail) > tolerance * hi_pass:
+        mid = 0.5 * (lo_fail + hi_pass)
+        if passes(mid):
+            hi_pass = mid
+        else:
+            lo_fail = mid
+    return hi_pass

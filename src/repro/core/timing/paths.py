@@ -1,0 +1,469 @@
+"""Stage path enumeration and sensitization.
+
+For one stage and one desired output transition, this module finds every
+*resistive path* that can produce the transition — a walk from a qualified
+source (the appropriate rail, or a driven input node) through
+possibly-conducting channels to the target — and every *trigger* that can
+fire each path:
+
+* **on-trigger** — the gate of a path device switches the device on
+  (a rising gate for n-channel, falling for p-channel);
+* **off-trigger** — the gate of an *opposing* device (one that was holding
+  the node at the old level) switches it off, releasing the node to the
+  path (this is how an nMOS output ever rises: the pulldown shuts off and
+  the always-on depletion load wins);
+* **through-trigger** — the path's source is a driven input whose own
+  transition propagates through already-conducting devices (pass chains).
+
+Sensitization consults a node-state map (usually from the switch-level
+simulator); unknown (X) states are treated permissively, which reproduces
+Crystal's pessimistic default.
+
+The module also converts a (path, trigger) pair into the
+:class:`~repro.core.models.base.StageRequest` the delay models consume,
+building the RC tree of the path plus its conducting side branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ...errors import TimingError
+from ...netlist import GND, VDD, Network
+from ...netlist.stages import Stage
+from ...netlist.transistor import Resistor, Transistor
+from ...rctree import RCTree
+from ...switchlevel import Logic
+from ...tech import DeviceKind, Technology, Transition
+from ..models.base import StageRequest
+
+#: Safety valve against combinatorial path blowup inside one stage.
+MAX_PATHS_PER_NODE = 512
+
+Element = Union[Transistor, Resistor]
+StateMap = Mapping[str, Logic]
+
+
+@dataclass(frozen=True)
+class PathElement:
+    """One channel/resistor hop, oriented from source toward target."""
+
+    element: Element
+    from_node: str
+    to_node: str
+
+    @property
+    def is_transistor(self) -> bool:
+        return isinstance(self.element, Transistor)
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """An input event that can fire a path."""
+
+    input_node: str
+    input_transition: Transition
+    mechanism: str  # "on" | "off" | "through"
+    device_kind: DeviceKind  # selects the slope table
+
+
+@dataclass(frozen=True)
+class SensitizedPath:
+    """A resistive path with the triggers that can fire it."""
+
+    stage_index: int
+    source: str
+    target: str
+    transition: Transition
+    elements: Tuple[PathElement, ...]
+    triggers: Tuple[Trigger, ...]
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        names = [self.source]
+        names.extend(e.to_node for e in self.elements)
+        return tuple(names)
+
+    def describe(self) -> str:
+        hops = " - ".join(
+            f"{e.element.name}" for e in self.elements
+        )
+        return (f"{self.source} -[{hops}]-> {self.target} "
+                f"({self.transition.value})")
+
+
+def _state(states: Optional[StateMap], node: str) -> Logic:
+    if node == VDD:
+        return Logic.ONE
+    if node == GND:
+        return Logic.ZERO
+    if states is None:
+        return Logic.X
+    return states.get(node, Logic.X)
+
+
+def _may_conduct(device: Transistor, states: Optional[StateMap]) -> bool:
+    """Can the device conduct in the analyzed (post-transition) state?
+
+    *states*, when provided, is the settled state **after** the analyzed
+    input event — so a device whose gate is held at the blocking level in
+    that state can never be part of a sensitizable path (this is the value
+    pruning Crystal performed with user- or simulator-supplied node
+    values).  Unknown gates stay permissive.
+    """
+    if device.kind is DeviceKind.NMOS_DEP:
+        return True
+    gate = _state(states, device.gate)
+    if device.kind is DeviceKind.NMOS_ENH:
+        return gate is not Logic.ZERO
+    return gate is not Logic.ONE
+
+
+def _statically_on(device: Transistor, states: Optional[StateMap]) -> bool:
+    """Conducts without any further input event."""
+    if device.kind is DeviceKind.NMOS_DEP:
+        return True
+    gate = _state(states, device.gate)
+    if device.kind is DeviceKind.NMOS_ENH:
+        return gate is not Logic.ZERO  # 1 definitely, X possibly
+    return gate is not Logic.ONE
+
+
+def _turn_on_transition(kind: DeviceKind) -> Transition:
+    return Transition.RISE if kind is not DeviceKind.PMOS else Transition.FALL
+
+
+def _turn_off_transition(kind: DeviceKind) -> Transition:
+    return Transition.FALL if kind is not DeviceKind.PMOS else Transition.RISE
+
+
+def source_qualifies(network: Network, node: str,
+                     transition: Transition) -> bool:
+    """Can *node* source the given output transition?"""
+    if transition is Transition.RISE:
+        if node == VDD:
+            return True
+    else:
+        if node == GND:
+            return True
+    if node in (VDD, GND):
+        return False
+    return network.node(node).is_driven_externally
+
+
+def enumerate_paths(network: Network, stage: Stage, target: str,
+                    transition: Transition,
+                    states: Optional[StateMap] = None) -> List[SensitizedPath]:
+    """All sensitizable (path, triggers) records for one output transition."""
+    if target not in stage.internal_nodes:
+        raise TimingError(
+            f"node {target!r} is not internal to stage {stage.index}"
+        )
+
+    adjacency: Dict[str, List[Tuple[Element, str]]] = {}
+
+    def connect(element: Element, a: str, b: str) -> None:
+        adjacency.setdefault(a, []).append((element, b))
+        adjacency.setdefault(b, []).append((element, a))
+
+    for device in stage.transistors:
+        if _may_conduct(device, states):
+            connect(device, device.source, device.drain)
+    for res in stage.resistors:
+        connect(res, res.node_a, res.node_b)
+
+    raw_paths: List[Tuple[str, Tuple[PathElement, ...]]] = []
+
+    def dfs(node: str, visited: Set[str],
+            trail: List[PathElement]) -> None:
+        if len(raw_paths) >= MAX_PATHS_PER_NODE:
+            return
+        for element, neighbor in adjacency.get(node, ()):  # walk backwards
+            if neighbor in visited:
+                continue
+            hop = PathElement(element=element, from_node=neighbor,
+                              to_node=node)
+            if source_qualifies(network, neighbor, transition):
+                # Reached a source: trail runs target->source, so reverse
+                # it to list hops from the source toward the target.
+                path = tuple(reversed(trail + [hop]))
+                raw_paths.append((neighbor, path))
+                continue
+            if neighbor not in stage.internal_nodes:
+                continue  # a boundary node of the wrong polarity
+            dfs(neighbor, visited | {neighbor}, trail + [hop])
+
+    dfs(target, {target}, [])
+
+    results: List[SensitizedPath] = []
+    for source, elements in raw_paths:
+        # Reorder hops from source to target (dfs built them backwards).
+        triggers = _triggers_for(network, stage, source, elements,
+                                 transition, states)
+        if not triggers:
+            continue
+        results.append(SensitizedPath(
+            stage_index=stage.index,
+            source=source,
+            target=target,
+            transition=transition,
+            elements=elements,
+            triggers=tuple(triggers),
+        ))
+    return results
+
+
+def _triggers_for(network: Network, stage: Stage, source: str,
+                  elements: Sequence[PathElement], transition: Transition,
+                  states: Optional[StateMap]) -> List[Trigger]:
+    triggers: Dict[Tuple[str, Transition], Trigger] = {}
+
+    path_devices = [e.element for e in elements if e.is_transistor]
+    first_kind = (path_devices[0].kind if path_devices
+                  else DeviceKind.NMOS_ENH)
+
+    # on-triggers: a path device's gate turning it on.
+    for hop in elements:
+        if not hop.is_transistor:
+            continue
+        device = hop.element
+        if device.kind is DeviceKind.NMOS_DEP:
+            continue  # effectively always on
+        gate = device.gate
+        if gate in (VDD, GND):
+            continue
+        event = (gate, _turn_on_transition(device.kind))
+        triggers.setdefault(event, Trigger(
+            input_node=gate,
+            input_transition=event[1],
+            mechanism="on",
+            device_kind=device.kind,
+        ))
+
+    # through-trigger: the source itself switching, propagated through an
+    # already-on chain.
+    if source not in (VDD, GND):
+        path_on = all(
+            (not hop.is_transistor) or _statically_on(hop.element, states)
+            for hop in elements
+        )
+        if path_on:
+            event = (source, transition)
+            triggers.setdefault(event, Trigger(
+                input_node=source,
+                input_transition=transition,
+                mechanism="through",
+                device_kind=first_kind,
+            ))
+
+    # off-triggers: an opposing device releasing the node.  Only relevant
+    # when the path itself conducts without further events.
+    path_statically_on = all(
+        (not hop.is_transistor) or _statically_on(hop.element, states)
+        for hop in elements
+    )
+    if path_statically_on:
+        path_element_names = {e.element.name for e in elements}
+        for device in stage.transistors:
+            if device.name in path_element_names:
+                continue
+            if device.kind is DeviceKind.NMOS_DEP:
+                continue
+            gate = device.gate
+            if gate in (VDD, GND):
+                continue
+            # With known states, the opposing device must actually end up
+            # OFF after the event; a gate settled at the conducting level
+            # never released the node.
+            gate_state = _state(states, gate)
+            conducting_level = (Logic.ONE if device.kind is DeviceKind.NMOS_ENH
+                                else Logic.ZERO)
+            if gate_state is conducting_level:
+                continue
+            # A genuine opposing device bridges the target to a source of
+            # the *opposite* level: one channel terminal must reach the
+            # target and the other an opposing source, both without going
+            # through the device itself.  (A pass device into a dead-end
+            # storage node fails this and is correctly ignored.)
+            target = elements[-1].to_node if elements else source
+            if not _bridges_opposition(network, stage, device, target,
+                                       transition, states):
+                continue
+            event = (gate, _turn_off_transition(device.kind))
+            triggers.setdefault(event, Trigger(
+                input_node=gate,
+                input_transition=event[1],
+                mechanism="off",
+                device_kind=first_kind,
+            ))
+    return list(triggers.values())
+
+
+def _reachable_without(network: Network, stage: Stage, start: str,
+                       excluded: Transistor,
+                       states: Optional[StateMap]) -> Set[str]:
+    """Stage nodes (plus touched boundaries) reachable from *start*
+    through possibly-conducting elements, never crossing *excluded*."""
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for device in stage.transistors:
+            if device.name == excluded.name or node not in device.channel:
+                continue
+            if not _may_conduct(device, states):
+                continue
+            other = device.other_channel_terminal(node)
+            if other not in seen:
+                seen.add(other)
+                if other in stage.internal_nodes:
+                    frontier.append(other)
+        for res in stage.resistors:
+            if node not in (res.node_a, res.node_b):
+                continue
+            other = res.other_terminal(node)
+            if other not in seen:
+                seen.add(other)
+                if other in stage.internal_nodes:
+                    frontier.append(other)
+    return seen
+
+
+def _bridges_opposition(network: Network, stage: Stage, device: Transistor,
+                        target: str, transition: Transition,
+                        states: Optional[StateMap]) -> bool:
+    """Does turning *device* off release *target* from the opposite level?
+
+    True when one channel terminal reaches the target and the other
+    reaches a source of the opposite polarity — each without crossing the
+    device itself."""
+    opposite = transition.opposite
+    for near, far in (device.channel, device.channel[::-1]):
+        near_reach = _reachable_without(network, stage, near, device, states)
+        if target not in near_reach:
+            continue
+        far_reach = _reachable_without(network, stage, far, device, states)
+        if any(source_qualifies(network, node, opposite)
+               for node in far_reach):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# RC-tree construction
+# ---------------------------------------------------------------------------
+
+def effective_node_cap(network: Network, node: str) -> float:
+    """Grounded + floating capacitance lumped onto a node for delay
+    modelling (floating caps are approximated as grounded — exact handling
+    is the analog simulator's job)."""
+    total = network.node_capacitance(node)
+    for cap in network.capacitors_touching(node):
+        total += cap.capacitance
+    return total
+
+
+def _element_resistance(tech: Technology, element: Element,
+                        transition: Transition) -> float:
+    if isinstance(element, Resistor):
+        return element.resistance
+    return tech.resistance(element.kind, transition, element.width,
+                           element.length)
+
+
+def _merged_edge_resistance(network: Network, stage: Stage, element: Element,
+                            a: str, b: str, transition: Transition,
+                            states: Optional[StateMap]) -> float:
+    """Resistance of the hop *element* between nodes a and b, merged in
+    parallel with every *other* element across the same node pair that
+    conducts in the analyzed state (a CMOS transmission gate is two such
+    devices; Crystal merges them the same way)."""
+    tech = network.tech
+    pair = frozenset((a, b))
+    conductance = 1.0 / _element_resistance(tech, element, transition)
+    for device in stage.transistors:
+        if device.name == getattr(element, "name", None):
+            continue
+        if frozenset(device.channel) != pair:
+            continue
+        if not _statically_on(device, states):
+            continue
+        conductance += 1.0 / _element_resistance(tech, device, transition)
+    for res in stage.resistors:
+        if res.name == getattr(element, "name", None):
+            continue
+        if frozenset((res.node_a, res.node_b)) != pair:
+            continue
+        conductance += 1.0 / res.resistance
+    return 1.0 / conductance
+
+
+def build_tree(network: Network, stage: Stage, path: SensitizedPath,
+               states: Optional[StateMap] = None,
+               include_branches: bool = True) -> RCTree:
+    """The RC tree for a path: root at the source, the path as the trunk,
+    and conducting side branches (their capacitance loads the path)."""
+    tech = network.tech
+    tree = RCTree(path.source)
+    for hop in path.elements:
+        resistance = _merged_edge_resistance(
+            network, stage, hop.element, hop.from_node, hop.to_node,
+            path.transition, states)
+        tree.add_edge(hop.from_node, hop.to_node, resistance)
+        if hop.to_node in stage.internal_nodes:
+            tree.add_cap(hop.to_node, effective_node_cap(network, hop.to_node))
+
+    if not include_branches:
+        return tree
+
+    # Side branches: breadth-first from every path node through devices
+    # that conduct (statically), stopping at driven nodes and at nodes
+    # already in the tree (re-convergent structures are approximated by
+    # first-found attachment).
+    frontier = [n for n in path.nodes if n in stage.internal_nodes]
+    seen = set(tree.nodes)
+    while frontier:
+        node = frontier.pop()
+        for element, neighbor in _conducting_neighbors(network, stage, node,
+                                                       states):
+            if neighbor in seen:
+                continue
+            if neighbor not in stage.internal_nodes:
+                continue  # a rail or driven node terminates the branch
+            resistance = _merged_edge_resistance(
+                network, stage, element, node, neighbor, path.transition,
+                states)
+            tree.add_edge(node, neighbor, resistance)
+            tree.add_cap(neighbor, effective_node_cap(network, neighbor))
+            seen.add(neighbor)
+            frontier.append(neighbor)
+    return tree
+
+
+def _conducting_neighbors(network: Network, stage: Stage, node: str,
+                          states: Optional[StateMap]):
+    for device in stage.transistors:
+        if node not in device.channel:
+            continue
+        if not _statically_on(device, states):
+            continue
+        yield device, device.other_channel_terminal(node)
+    for res in stage.resistors:
+        if node in (res.node_a, res.node_b):
+            yield res, res.other_terminal(node)
+
+
+def build_request(network: Network, stage: Stage, path: SensitizedPath,
+                  trigger: Trigger, input_slope: float,
+                  states: Optional[StateMap] = None) -> StageRequest:
+    """Assemble the delay-model question for one (path, trigger) pair."""
+    tree = build_tree(network, stage, path, states=states)
+    return StageRequest(
+        tree=tree,
+        target=path.target,
+        transition=path.transition,
+        trigger_kind=trigger.device_kind,
+        input_slope=input_slope,
+        tech=network.tech,
+    )

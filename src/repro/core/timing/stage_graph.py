@@ -1,0 +1,73 @@
+"""Stage-level connectivity: which stages a node event can affect.
+
+Stages communicate exclusively through gates (two distinct
+channel-connected regions can only share a supply or a driven node), so
+the stage graph has an edge S → T whenever an internal node of S gates a
+transistor of T.  Driven inputs additionally fan out to every stage they
+either gate or touch as a channel boundary (pass chains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ...netlist import Network
+from ...netlist.stages import Stage, StageMap
+
+
+@dataclass
+class StageGraph:
+    """Sensitivity and successor maps over a network's stages."""
+
+    stage_map: StageMap
+    #: node name -> stages that must be re-evaluated when the node changes
+    sensitivity: Dict[str, List[Stage]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, network: Network) -> "StageGraph":
+        stage_map = StageMap.build(network)
+        sensitivity: Dict[str, List[Stage]] = {}
+        for stage in stage_map.stages:
+            for node in stage.gate_inputs | stage.boundary_nodes:
+                sensitivity.setdefault(node, []).append(stage)
+        return cls(stage_map=stage_map, sensitivity=sensitivity)
+
+    @property
+    def stages(self) -> List[Stage]:
+        return self.stage_map.stages
+
+    def affected_stages(self, node: str) -> List[Stage]:
+        return list(self.sensitivity.get(node, ()))
+
+    def successors(self, stage: Stage) -> List[Stage]:
+        """Stages fed by this stage's internal nodes."""
+        seen: Set[int] = set()
+        out: List[Stage] = []
+        for node in stage.internal_nodes:
+            for successor in self.sensitivity.get(node, ()):
+                if successor.index not in seen:
+                    seen.add(successor.index)
+                    out.append(successor)
+        return out
+
+    def has_feedback(self) -> bool:
+        """True when the stage graph contains a cycle (latches, flip-flops,
+        oscillators) — the analyzer then needs its iteration cap."""
+        color: Dict[int, int] = {}
+
+        def visit(stage: Stage) -> bool:
+            color[stage.index] = 1
+            for successor in self.successors(stage):
+                state = color.get(successor.index, 0)
+                if state == 1:
+                    return True
+                if state == 0 and visit(successor):
+                    return True
+            color[stage.index] = 2
+            return False
+
+        return any(
+            visit(stage) for stage in self.stages
+            if color.get(stage.index, 0) == 0
+        )

@@ -1,0 +1,30 @@
+"""Transistor-level netlist substrate: nodes, devices, stages, file formats."""
+
+from .node import GND, VDD, Node, NodeRole, canonical_name
+from .transistor import Capacitor, Resistor, Transistor
+from .network import Network
+from .stages import Stage, StageMap, decompose_stages, stage_of
+from .validate import Diagnostic, Severity, validate_network, validate_strict
+from . import sim_format, spice_format
+
+__all__ = [
+    "GND",
+    "VDD",
+    "Node",
+    "NodeRole",
+    "canonical_name",
+    "Capacitor",
+    "Resistor",
+    "Transistor",
+    "Network",
+    "Stage",
+    "StageMap",
+    "decompose_stages",
+    "stage_of",
+    "Diagnostic",
+    "Severity",
+    "validate_network",
+    "validate_strict",
+    "sim_format",
+    "spice_format",
+]

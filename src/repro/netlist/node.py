@@ -1,0 +1,83 @@
+"""Circuit nodes.
+
+A :class:`Node` is a named electrical net.  The two supply nets have fixed
+well-known names (:data:`VDD` and :data:`GND`); everything else is a signal
+net.  Nodes carry the *explicit* capacitance attached to them (wire and
+drawn capacitors to ground); device capacitance is computed from the
+transistors by :class:`repro.netlist.Network`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Canonical supply net names.  Parsers normalize aliases onto these.
+VDD = "vdd"
+GND = "gnd"
+
+#: Aliases accepted on input (case-insensitive).
+SUPPLY_ALIASES = {
+    "vdd": VDD,
+    "vcc": VDD,
+    "vdd!": VDD,
+    "gnd": GND,
+    "vss": GND,
+    "gnd!": GND,
+    "0": GND,
+}
+
+
+class NodeRole(enum.Enum):
+    """What a node is, structurally."""
+
+    SIGNAL = "signal"
+    POWER = "power"  #: the Vdd rail
+    GROUND = "ground"  #: the GND rail
+    INPUT = "input"  #: primary input (driven from outside the network)
+
+    @property
+    def is_supply(self) -> bool:
+        return self in (NodeRole.POWER, NodeRole.GROUND)
+
+
+def canonical_name(name: str) -> str:
+    """Normalize a net name: strip, lowercase supply aliases."""
+    stripped = name.strip()
+    if not stripped:
+        raise ValueError("empty node name")
+    alias = SUPPLY_ALIASES.get(stripped.lower())
+    return alias if alias is not None else stripped
+
+
+@dataclass
+class Node:
+    """One electrical net.
+
+    Attributes
+    ----------
+    name:
+        Canonical net name.
+    role:
+        Structural role; supplies and primary inputs are "driven from
+        outside" for every analysis in the library.
+    capacitance:
+        Explicit capacitance to ground (farads) from wires and drawn
+        capacitors; device capacitance is *not* included here.
+    """
+
+    name: str
+    role: NodeRole = NodeRole.SIGNAL
+    capacitance: float = 0.0
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def is_supply(self) -> bool:
+        return self.role.is_supply
+
+    @property
+    def is_driven_externally(self) -> bool:
+        return self.role.is_supply or self.role is NodeRole.INPUT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

@@ -1,0 +1,254 @@
+"""SPICE-subset netlist reader/writer.
+
+Supports the subset needed to exchange the paper's test circuits with a
+conventional circuit simulator:
+
+* ``.model NAME NMOS|PMOS (VTO=… KP=… LAMBDA=…)`` — model cards; an NMOS
+  model with negative VTO is a depletion device,
+* ``Mxxx drain gate source bulk MODEL [W=…] [L=…]`` — transistors,
+* ``Rxxx a b value`` / ``Cxxx a b value`` — passives,
+* ``Vxxx n+ n- DC value`` or ``Vxxx n+ n- PULSE(v1 v2 td tr tf pw per)``
+  or ``PWL(t1 v1 t2 v2 …)`` — sources; a DC source equal to the rails is
+  folded into them, any other source marks its node as a primary input and
+  its waveform is recorded as a :class:`StimulusSpec`,
+* ``*`` comments, ``+`` continuation lines, ``.end``.
+
+``loads`` returns ``(network, stimuli)`` where *stimuli* maps node names to
+specs the analog simulator can turn into drive waveforms
+(:func:`repro.analog.sources.from_spec`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParseError
+from ..tech import DeviceKind, Technology
+from ..units import parse_value
+from .network import Network
+from .node import GND, VDD, canonical_name
+
+
+@dataclass(frozen=True)
+class StimulusSpec:
+    """A parsed source waveform: ``kind`` is ``dc``, ``pulse`` or ``pwl``."""
+
+    kind: str
+    values: Tuple[float, ...] = field(default_factory=tuple)
+
+    @property
+    def dc_value(self) -> float:
+        if self.kind != "dc":
+            raise ParseError(f"stimulus is {self.kind!r}, not dc")
+        return self.values[0]
+
+
+@dataclass
+class _ModelCard:
+    name: str
+    kind: DeviceKind
+    vto: Optional[float]
+
+
+def _join_continuations(text: str) -> List[Tuple[int, str]]:
+    """Fold ``+`` continuation lines into their parent, keeping line numbers."""
+    out: List[Tuple[int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not out:
+                raise ParseError("continuation with no previous line",
+                                 "<string>", lineno)
+            prev_no, prev = out[-1]
+            out[-1] = (prev_no, prev + " " + stripped[1:])
+        else:
+            out.append((lineno, line))
+    return out
+
+
+_PAREN = re.compile(r"\(([^)]*)\)")
+
+
+def _parse_model(fields: List[str], line: str, filename: str,
+                 lineno: int) -> _ModelCard:
+    if len(fields) < 3:
+        raise ParseError(".model needs a name and a type", filename, lineno)
+    name = fields[1].lower()
+    mtype = fields[2].split("(")[0].lower()
+    params: Dict[str, float] = {}
+    match = _PAREN.search(line)
+    body = match.group(1) if match else " ".join(fields[3:])
+    for assignment in re.split(r"[\s,]+", body.strip()):
+        if not assignment:
+            continue
+        if "=" not in assignment:
+            raise ParseError(f"bad model parameter {assignment!r}",
+                             filename, lineno)
+        key, value = assignment.split("=", 1)
+        params[key.lower()] = parse_value(value)
+    vto = params.get("vto")
+    if mtype == "pmos":
+        kind = DeviceKind.PMOS
+    elif mtype == "nmos":
+        kind = DeviceKind.NMOS_DEP if (vto is not None and vto < 0) else (
+            DeviceKind.NMOS_ENH)
+    else:
+        raise ParseError(f"unsupported model type {mtype!r}", filename, lineno)
+    return _ModelCard(name=name, kind=kind, vto=vto)
+
+
+def loads(text: str, tech: Technology, name: str = "spice",
+          filename: str = "<string>") -> Tuple[Network, Dict[str, StimulusSpec]]:
+    """Parse SPICE-subset text; see module docstring."""
+    network = Network(tech, name=name)
+    stimuli: Dict[str, StimulusSpec] = {}
+    models: Dict[str, _ModelCard] = {}
+    lines = _join_continuations(text)
+
+    for lineno, line in lines:
+        fields = line.split()
+        head = fields[0].lower()
+        try:
+            if head.startswith(".model"):
+                card = _parse_model(fields, line, filename, lineno)
+                models[card.name] = card
+            elif head in (".end", ".ends"):
+                break
+            elif head.startswith((".tran", ".op", ".options", ".ic",
+                                  ".print", ".plot", ".title")):
+                continue  # analysis cards are the simulator's business
+            elif head.startswith("."):
+                raise ParseError(f"unsupported card {fields[0]!r}",
+                                 filename, lineno)
+            elif head[0] == "m":
+                _parse_mosfet(network, fields, models, filename, lineno)
+            elif head[0] == "r":
+                _need(len(fields) == 4, "R needs 2 nodes and a value",
+                      filename, lineno)
+                network.add_resistor(fields[1], fields[2],
+                                     parse_value(fields[3]), name=fields[0])
+            elif head[0] == "c":
+                _need(len(fields) == 4, "C needs 2 nodes and a value",
+                      filename, lineno)
+                network.add_capacitor(fields[1], fields[2],
+                                      parse_value(fields[3]), name=fields[0])
+            elif head[0] == "v":
+                _parse_vsource(network, stimuli, fields, line, filename, lineno)
+            else:
+                raise ParseError(f"unsupported element {fields[0]!r}",
+                                 filename, lineno)
+        except ParseError:
+            raise
+        except Exception as exc:
+            raise ParseError(str(exc), filename, lineno) from exc
+    return network, stimuli
+
+
+def load(path: str, tech: Technology) -> Tuple[Network, Dict[str, StimulusSpec]]:
+    with open(path) as handle:
+        return loads(handle.read(), tech, name=path, filename=path)
+
+
+def _need(condition: bool, message: str, filename: str, lineno: int) -> None:
+    if not condition:
+        raise ParseError(message, filename, lineno)
+
+
+def _parse_mosfet(network: Network, fields: List[str],
+                  models: Dict[str, _ModelCard], filename: str,
+                  lineno: int) -> None:
+    _need(len(fields) >= 6, "M needs: Mname d g s b model [W=] [L=]",
+          filename, lineno)
+    drain, gate, source = fields[1], fields[2], fields[3]
+    model_name = fields[5].lower()
+    card = models.get(model_name)
+    if card is None:
+        raise ParseError(f"unknown model {fields[5]!r}", filename, lineno)
+    width: Optional[float] = None
+    length: Optional[float] = None
+    for token in fields[6:]:
+        if "=" not in token:
+            raise ParseError(f"bad device parameter {token!r}", filename, lineno)
+        key, value = token.split("=", 1)
+        key = key.lower()
+        if key == "w":
+            width = parse_value(value)
+        elif key == "l":
+            length = parse_value(value)
+        # other instance parameters (AD, AS, …) are irrelevant here
+    network.add_transistor(card.kind, gate, source, drain,
+                           width=width, length=length, name=fields[0])
+
+
+_SRC_FUNC = re.compile(r"(pulse|pwl)\s*\(([^)]*)\)", re.IGNORECASE)
+
+
+def _parse_vsource(network: Network, stimuli: Dict[str, StimulusSpec],
+                   fields: List[str], line: str, filename: str,
+                   lineno: int) -> None:
+    _need(len(fields) >= 4, "V needs: Vname n+ n- value", filename, lineno)
+    plus = canonical_name(fields[1])
+    minus = canonical_name(fields[2])
+    match = _SRC_FUNC.search(line)
+    if match:
+        kind = match.group(1).lower()
+        values = tuple(parse_value(tok) for tok in
+                       re.split(r"[\s,]+", match.group(2).strip()) if tok)
+        spec = StimulusSpec(kind=kind, values=values)
+    else:
+        tail = [f for f in fields[3:] if f.lower() != "dc"]
+        _need(len(tail) == 1, "V needs a single DC value or PULSE/PWL",
+              filename, lineno)
+        spec = StimulusSpec(kind="dc", values=(parse_value(tail[0]),))
+
+    if minus != GND:
+        raise ParseError("only ground-referenced sources are supported",
+                         filename, lineno)
+    if plus in (VDD, GND):
+        return  # the rails are implicit; the value is taken from the tech
+    network.add_node(plus)
+    network.mark_input(plus)
+    stimuli[plus] = spec
+
+
+def dumps(network: Network, stimuli: Optional[Dict[str, StimulusSpec]] = None,
+          title: str = "repro netlist") -> str:
+    """Serialize a network (and optional stimuli) as SPICE-subset text."""
+    tech = network.tech
+    lines = [f"* {title} ({tech.name})"]
+    model_names: Dict[DeviceKind, str] = {}
+    for kind, params in tech.devices.items():
+        mname = {"e": "men", "d": "mdep", "p": "mp"}[kind.value]
+        model_names[kind] = mname
+        mtype = "PMOS" if kind is DeviceKind.PMOS else "NMOS"
+        lines.append(
+            f".model {mname} {mtype} (VTO={params.vt0:g} KP={params.kp:g} "
+            f"LAMBDA={params.lam:g})"
+        )
+    lines.append(f"Vdd vdd gnd DC {tech.vdd:g}")
+    for device in network.transistors:
+        lines.append(
+            f"M{device.name} {device.drain} {device.gate} {device.source} "
+            f"gnd {model_names[device.kind]} W={device.width:g} "
+            f"L={device.length:g}"
+        )
+    for res in network.resistors:
+        lines.append(f"R{res.name} {res.node_a} {res.node_b} {res.resistance:g}")
+    for cap in network.capacitors:
+        lines.append(f"C{cap.name} {cap.node_a} {cap.node_b} {cap.capacitance:g}")
+    for node in network.signal_nodes:
+        if node.capacitance > 0:
+            lines.append(f"Cn_{node.name} {node.name} gnd {node.capacitance:g}")
+    for node, spec in (stimuli or {}).items():
+        if spec.kind == "dc":
+            lines.append(f"V{node} {node} gnd DC {spec.dc_value:g}")
+        else:
+            args = " ".join(f"{v:g}" for v in spec.values)
+            lines.append(f"V{node} {node} gnd {spec.kind.upper()}({args})")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

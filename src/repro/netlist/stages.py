@@ -1,0 +1,214 @@
+"""Channel-connected region (stage) decomposition.
+
+The paper's delay models operate on *stages*: maximal sets of signal nodes
+connected through transistor channels (and explicit wire resistors).  The
+supply rails and primary inputs are *boundaries* — an edge may touch them,
+but regions never merge across them, because those nodes are voltage
+sources as far as a stage is concerned.
+
+The decomposition is the same one Crystal and the switch-level simulators
+of the era (MOSSIM II) use, and it is shared here by the switch-level
+simulator, the delay models, and the timing analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..errors import NetlistError
+from .network import Network
+from .transistor import Resistor, Transistor
+
+
+@dataclass
+class Stage:
+    """One channel-connected region.
+
+    Attributes
+    ----------
+    index:
+        Stable ordinal of the stage within its network.
+    internal_nodes:
+        Signal nodes belonging to the region (storage nodes).
+    transistors / resistors:
+        Elements whose channel (or body) lies in the region.
+    boundary_nodes:
+        Supply rails and primary inputs touched by the region's elements.
+    gate_inputs:
+        Gate nets of the region's transistors — the signals that control
+        the stage.  A gate net may simultaneously be an internal node of
+        the same stage (e.g. bootstrap circuits); such stages are flagged
+        ``self_loop``.
+    """
+
+    index: int
+    internal_nodes: FrozenSet[str]
+    transistors: Tuple[Transistor, ...]
+    resistors: Tuple[Resistor, ...]
+    boundary_nodes: FrozenSet[str]
+    gate_inputs: FrozenSet[str]
+
+    @property
+    def self_loop(self) -> bool:
+        return bool(self.gate_inputs & self.internal_nodes)
+
+    @property
+    def all_nodes(self) -> FrozenSet[str]:
+        return self.internal_nodes | self.boundary_nodes
+
+    def contains(self, node: str) -> bool:
+        return node in self.internal_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nodes = ",".join(sorted(self.internal_nodes))
+        return f"<stage {self.index}: [{nodes}]>"
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            parent = self.find(parent)
+            self._parent[item] = parent
+        return parent
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def decompose_stages(network: Network) -> List[Stage]:
+    """Partition *network* into channel-connected regions.
+
+    Every signal node that touches a transistor channel or a resistor
+    belongs to exactly one stage.  Isolated signal nodes (gate-only nets,
+    primary inputs that drive nothing resistively) do not form stages.
+    """
+    driven = set(network.externally_driven())
+    uf = _UnionFind()
+
+    def is_boundary(node: str) -> bool:
+        return node in driven
+
+    edges: List[Tuple[str, str]] = []
+    for device in network.transistors:
+        edges.append((device.source, device.drain))
+    for res in network.resistors:
+        edges.append((res.node_a, res.node_b))
+
+    for a, b in edges:
+        if not is_boundary(a):
+            uf.find(a)
+        if not is_boundary(b):
+            uf.find(b)
+        if not is_boundary(a) and not is_boundary(b):
+            uf.union(a, b)
+
+    # Group internal nodes by root.
+    groups: Dict[str, Set[str]] = {}
+    for device in network.transistors:
+        for node in device.channel:
+            if not is_boundary(node):
+                groups.setdefault(uf.find(node), set()).add(node)
+    for res in network.resistors:
+        for node in (res.node_a, res.node_b):
+            if not is_boundary(node):
+                groups.setdefault(uf.find(node), set()).add(node)
+
+    # An edge entirely between boundary nodes (e.g. a pass transistor
+    # directly bridging two primary inputs) forms a degenerate stage with
+    # no internal nodes; collect those separately.
+    degenerate: List[Tuple[str, str]] = [
+        (a, b) for a, b in edges if is_boundary(a) and is_boundary(b)
+    ]
+
+    stages: List[Stage] = []
+    for root in sorted(groups, key=lambda r: sorted(groups[r])[0]):
+        members = groups[root]
+        transistors = []
+        resistors = []
+        boundary: Set[str] = set()
+        gates: Set[str] = set()
+        for device in network.transistors:
+            touched = [n for n in device.channel if n in members]
+            if touched:
+                transistors.append(device)
+                gates.add(device.gate)
+                for node in device.channel:
+                    if is_boundary(node):
+                        boundary.add(node)
+        for res in network.resistors:
+            touched = [n for n in (res.node_a, res.node_b) if n in members]
+            if touched:
+                resistors.append(res)
+                for node in (res.node_a, res.node_b):
+                    if is_boundary(node):
+                        boundary.add(node)
+        stages.append(Stage(
+            index=len(stages),
+            internal_nodes=frozenset(members),
+            transistors=tuple(sorted(transistors, key=lambda d: d.name)),
+            resistors=tuple(sorted(resistors, key=lambda r: r.name)),
+            boundary_nodes=frozenset(boundary),
+            gate_inputs=frozenset(gates),
+        ))
+
+    for a, b in degenerate:
+        devices = tuple(
+            d for d in network.transistors
+            if frozenset(d.channel) == frozenset((a, b))
+        )
+        ress = tuple(
+            r for r in network.resistors
+            if frozenset((r.node_a, r.node_b)) == frozenset((a, b))
+        )
+        stages.append(Stage(
+            index=len(stages),
+            internal_nodes=frozenset(),
+            transistors=devices,
+            resistors=ress,
+            boundary_nodes=frozenset((a, b)),
+            gate_inputs=frozenset(d.gate for d in devices),
+        ))
+    return stages
+
+
+def stage_of(stages: List[Stage], node: str) -> Stage:
+    """The unique stage whose internal nodes include *node*."""
+    for stage in stages:
+        if stage.contains(node):
+            return stage
+    raise NetlistError(f"node {node!r} is not an internal node of any stage")
+
+
+@dataclass
+class StageMap:
+    """Index from node names to their stage, built once per network."""
+
+    stages: List[Stage]
+    by_node: Dict[str, Stage] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, network: Network) -> "StageMap":
+        stages = decompose_stages(network)
+        by_node: Dict[str, Stage] = {}
+        for stage in stages:
+            for node in stage.internal_nodes:
+                by_node[node] = stage
+        return cls(stages=stages, by_node=by_node)
+
+    def get(self, node: str) -> Stage:
+        try:
+            return self.by_node[node]
+        except KeyError:
+            raise NetlistError(
+                f"node {node!r} is not an internal node of any stage"
+            ) from None
+
+    def maybe(self, node: str):
+        return self.by_node.get(node)

@@ -1,0 +1,154 @@
+"""Netlist sanity checks.
+
+``validate_network`` runs a battery of structural rules and returns a list
+of :class:`Diagnostic` records (empty when the netlist is clean).  The
+``strict`` entry point raises on the first error-severity finding.  These
+are the same classes of checks Crystal performed on chip netlists before
+timing them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ValidationError
+from ..tech import DeviceKind
+from .network import Network
+from .node import GND, VDD
+from .stages import decompose_stages
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity.value}: [{self.code}] {self.message}"
+
+
+def validate_network(network: Network) -> List[Diagnostic]:
+    """Run all checks; return diagnostics sorted errors-first."""
+    findings: List[Diagnostic] = []
+    findings.extend(_check_floating_gates(network))
+    findings.extend(_check_undriven_stages(network))
+    findings.extend(_check_supply_shorts(network))
+    findings.extend(_check_depletion_usage(network))
+    findings.extend(_check_isolated_nodes(network))
+    findings.sort(key=lambda d: (d.severity is not Severity.ERROR, d.code))
+    return findings
+
+
+def validate_strict(network: Network) -> None:
+    """Raise :class:`~repro.errors.ValidationError` on the first error."""
+    findings = validate_network(network)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if errors:
+        raise ValidationError("; ".join(str(e) for e in errors))
+
+
+def _check_floating_gates(network: Network) -> List[Diagnostic]:
+    """A gate net must be a supply, an input, or resistively connected to
+    something that can drive it (i.e. belong to a stage)."""
+    findings = []
+    stage_nodes = set()
+    for stage in decompose_stages(network):
+        stage_nodes |= stage.internal_nodes
+    for device in network.transistors:
+        gate = network.node(device.gate)
+        if gate.is_driven_externally or gate.name in stage_nodes:
+            continue
+        findings.append(Diagnostic(
+            Severity.ERROR, "floating-gate",
+            f"gate of {device.name!r} (net {gate.name!r}) is never driven",
+        ))
+    return findings
+
+
+def _check_undriven_stages(network: Network) -> List[Diagnostic]:
+    """Every stage should touch at least one externally driven node;
+    otherwise its nodes can only ever hold stale charge."""
+    findings = []
+    for stage in decompose_stages(network):
+        if not stage.boundary_nodes and stage.internal_nodes:
+            nodes = ", ".join(sorted(stage.internal_nodes))
+            findings.append(Diagnostic(
+                Severity.WARNING, "undriven-stage",
+                f"stage [{nodes}] has no path to a supply or input",
+            ))
+    return findings
+
+
+def _check_supply_shorts(network: Network) -> List[Diagnostic]:
+    """Flag unconditional resistive paths between Vdd and GND: chains of
+    always-on devices (depletion loads, explicit resistors) that bridge the
+    rails.  Gated devices are fine — whether they short depends on inputs."""
+    findings = []
+    always_on_adjacency = {}
+
+    def connect(a: str, b: str, label: str) -> None:
+        always_on_adjacency.setdefault(a, []).append((b, label))
+        always_on_adjacency.setdefault(b, []).append((a, label))
+
+    for device in network.transistors:
+        if device.is_load:
+            connect(device.source, device.drain, device.name)
+    for res in network.resistors:
+        connect(res.node_a, res.node_b, res.name)
+
+    # BFS from Vdd through always-on edges; reaching GND is a hard short.
+    seen = {VDD}
+    frontier = [VDD]
+    while frontier:
+        current = frontier.pop()
+        for neighbor, _ in always_on_adjacency.get(current, ()):
+            if neighbor == GND:
+                findings.append(Diagnostic(
+                    Severity.ERROR, "supply-short",
+                    "unconditional resistive path between vdd and gnd",
+                ))
+                return findings
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return findings
+
+
+def _check_depletion_usage(network: Network) -> List[Diagnostic]:
+    """Depletion devices not wired as loads are unusual enough to warn."""
+    findings = []
+    for device in network.transistors:
+        if device.kind is DeviceKind.NMOS_DEP and not device.is_load:
+            findings.append(Diagnostic(
+                Severity.WARNING, "depletion-switch",
+                f"depletion device {device.name!r} is not wired as a load "
+                "(gate not tied to a channel terminal); it conducts for "
+                "almost all gate voltages",
+            ))
+    return findings
+
+
+def _check_isolated_nodes(network: Network) -> List[Diagnostic]:
+    """Signal nodes that touch nothing at all are probably typos."""
+    findings = []
+    for node in network.signal_nodes:
+        touches = (
+            network.transistors_touching(node.name)
+            or network.transistors_gated_by(node.name)
+            or network.resistors_touching(node.name)
+            or network.capacitors_touching(node.name)
+        )
+        if not touches and node.capacitance == 0.0:
+            findings.append(Diagnostic(
+                Severity.WARNING, "isolated-node",
+                f"node {node.name!r} is connected to nothing",
+            ))
+    return findings

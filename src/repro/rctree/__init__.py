@@ -1,0 +1,20 @@
+"""RC-tree mathematics: Elmore delay, RPH bounds, exact step response."""
+
+from .tree import RCTree
+from .elmore import TimeConstants, elmore_delay, lumped_time_constant, time_constants
+from .bounds import DelayBounds, delay_bounds, delay_bounds_from_constants
+from .exact import StepResponse, exact_delay, step_response
+
+__all__ = [
+    "RCTree",
+    "TimeConstants",
+    "elmore_delay",
+    "lumped_time_constant",
+    "time_constants",
+    "DelayBounds",
+    "delay_bounds",
+    "delay_bounds_from_constants",
+    "StepResponse",
+    "exact_delay",
+    "step_response",
+]

@@ -1,0 +1,91 @@
+"""Penfield-Rubinstein-Horowitz delay bounds.
+
+For a unit step applied at the root of an RC tree at t=0, let
+``x_i(t) = 1 - v_i(t)`` be the normalized *remaining* excursion at node i.
+The RPH lemma sandwiches the remaining area:
+
+    ``T_Ri * x_i(t)  <=  integral_t^inf x_i  <=  T_P * x_i(t)``
+
+together with ``x_i`` monotone decreasing, ``x_i(0) = 1`` and
+``integral_0^inf x_i = T_Di``.  Four rigorous consequences bound the time
+``t_i(v)`` at which node i reaches the normalized threshold ``v``:
+
+lower bounds
+    ``t >= T_Di - T_P * (1 - v)``
+    ``t >= T_Ri * ln( T_Di / (T_P * (1 - v)) )``
+
+upper bounds
+    ``t <= T_Di / (1 - v)``
+    ``t <= T_P * ln( T_Di / (T_Ri * (1 - v)) )``
+
+Each is clamped at zero; the bound pair used is the max of the lowers and
+the min of the uppers.  The property tests verify bracketing against the
+exact eigendecomposition response on randomized trees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from .elmore import TimeConstants, time_constants
+from .tree import RCTree
+
+
+@dataclass(frozen=True)
+class DelayBounds:
+    """Lower/upper bound on the threshold-crossing time, plus the Elmore
+    point estimate which always lies between them scaled by ln-factors."""
+
+    lower: float
+    upper: float
+    elmore: float
+
+    @property
+    def spread(self) -> float:
+        return self.upper - self.lower
+
+    def midpoint(self) -> float:
+        return 0.5 * (self.lower + self.upper)
+
+
+def _check_threshold(threshold: float) -> None:
+    if not 0.0 < threshold < 1.0:
+        raise AnalysisError(
+            f"threshold must be a normalized fraction in (0, 1), got "
+            f"{threshold!r}"
+        )
+
+
+def delay_bounds_from_constants(tc: TimeConstants,
+                                threshold: float = 0.5) -> DelayBounds:
+    """Bounds from precomputed time constants (see module docstring)."""
+    _check_threshold(threshold)
+    remaining = 1.0 - threshold
+    t_p, t_d, t_r = tc.t_p, tc.t_d, tc.t_r
+    if t_d <= 0.0:
+        return DelayBounds(lower=0.0, upper=0.0, elmore=0.0)
+
+    lower_area = t_d - t_p * remaining
+    lower_exp = 0.0
+    if t_r > 0.0 and t_d > t_p * remaining:
+        lower_exp = t_r * math.log(t_d / (t_p * remaining))
+    lower = max(0.0, lower_area, lower_exp)
+
+    upper_markov = t_d / remaining
+    if t_r > 0.0:
+        upper_exp = t_p * math.log(t_d / (t_r * remaining))
+        upper = min(upper_markov, max(upper_exp, 0.0))
+    else:
+        upper = upper_markov
+    upper = max(upper, lower)  # guard against round-off inversion
+
+    return DelayBounds(lower=lower, upper=upper, elmore=t_d)
+
+
+def delay_bounds(tree: RCTree, node: str,
+                 threshold: float = 0.5) -> DelayBounds:
+    """RPH bounds on the time for *node* to cross *threshold* (normalized
+    fraction of the step) after a step at the tree's root."""
+    return delay_bounds_from_constants(time_constants(tree, node), threshold)

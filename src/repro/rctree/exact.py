@@ -1,0 +1,138 @@
+"""Exact RC-tree step response by eigendecomposition.
+
+The validation oracle for the Elmore/RPH machinery: for a step at the root,
+the node voltages satisfy ``C dv/dt = -G v + b`` with ``G`` the conductance
+Laplacian (root eliminated as a driven node).  Because ``G`` and ``C`` are
+symmetric (C diagonal) positive definite, the generalized eigenproblem
+``G q = lambda C q`` has real positive eigenvalues and the step response is
+a sum of decaying exponentials — monotone at every node, which is why the
+RPH theory applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .tree import RCTree
+
+
+@dataclass
+class StepResponse:
+    """Normalized step response at every non-root node.
+
+    ``voltage(node, t)`` is in [0, 1); ``crossing_time(node, v)`` inverts it.
+    """
+
+    nodes: List[str]
+    eigenvalues: np.ndarray  # positive rates (1/s)
+    #: per-node modal amplitudes: v_i(t) = 1 - sum_m A[i, m] exp(-lambda_m t)
+    amplitudes: np.ndarray
+
+    def voltage(self, node: str, t):
+        """Normalized voltage at *node*; scalar in → float out."""
+        index = self._index(node)
+        t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+        decay = np.exp(-np.outer(t_arr, self.eigenvalues))
+        values = 1.0 - decay @ self.amplitudes[index]
+        if np.ndim(t) == 0:
+            return float(values[0])
+        return values
+
+    def crossing_time(self, node: str, threshold: float,
+                      tolerance: float = 1e-12) -> float:
+        """First time the (monotone) response reaches *threshold*."""
+        if not 0.0 < threshold < 1.0:
+            raise AnalysisError("threshold must be in (0, 1)")
+        index = self._index(node)
+        rate = float(np.min(self.eigenvalues))
+        hi = 1.0 / rate
+        # Expand until above threshold.
+        for _ in range(200):
+            if self.voltage(node, hi) >= threshold:
+                break
+            hi *= 2.0
+        else:
+            raise AnalysisError(f"response at {node!r} never reaches "
+                                f"{threshold:g}")
+        lo = 0.0
+        del index
+        while hi - lo > tolerance * max(hi, 1e-30):
+            mid = 0.5 * (lo + hi)
+            if self.voltage(node, mid) >= threshold:
+                hi = mid
+            else:
+                lo = mid
+        return 0.5 * (lo + hi)
+
+    def _index(self, node: str) -> int:
+        try:
+            return self.nodes.index(node)
+        except ValueError:
+            raise AnalysisError(f"unknown node {node!r}") from None
+
+
+def step_response(tree: RCTree) -> StepResponse:
+    """Solve the tree exactly (requires every node to carry some C; nodes
+    with zero capacitance are given a vanishingly small one to keep the
+    generalized eigenproblem well posed)."""
+    nodes = tree.non_root_nodes
+    if not nodes:
+        raise AnalysisError("tree has no non-root nodes")
+    n = len(nodes)
+    index = {name: i for i, name in enumerate(nodes)}
+
+    conductance = np.zeros((n, n))
+    rhs = np.zeros(n)
+    for node in nodes:
+        parent, resistance = tree.parent_edge(node)
+        g = 1.0 / resistance
+        i = index[node]
+        conductance[i, i] += g
+        if parent == tree.root:
+            rhs[i] += g  # unit step at the root
+        else:
+            j = index[parent]
+            conductance[i, j] -= g
+            conductance[j, i] -= g
+            conductance[j, j] += g
+
+    floor = max(tree.total_cap(), 1e-30) * 1e-12
+    caps = np.array([max(tree.cap(node), floor) for node in nodes])
+
+    # Symmetrize via the C^{-1/2} similarity transform.
+    inv_sqrt_c = 1.0 / np.sqrt(caps)
+    sym = conductance * np.outer(inv_sqrt_c, inv_sqrt_c)
+    eigenvalues, eigenvectors = np.linalg.eigh(sym)
+    if np.any(eigenvalues <= 0):
+        raise AnalysisError("non-positive eigenvalue: tree is degenerate")
+
+    # v(t) = v_inf - sum_m q_m exp(-lambda_m t) c_m with v(0) = 0 and
+    # v_inf = 1 everywhere (pure tree, DC gain one).
+    v_inf = np.ones(n)
+    # Transform: y = sqrt(C) v; y_inf = sqrt(C) v_inf; y(t) follows modes.
+    y_inf = np.sqrt(caps) * v_inf
+    coefficients = eigenvectors.T @ y_inf  # modal content of the final value
+    # v_i(t) = 1 - sum_m (Q[i,m] * coefficients[m] / sqrt(C_i)) e^{-l_m t}
+    amplitudes = (eigenvectors * coefficients[np.newaxis, :]) * (
+        inv_sqrt_c[:, np.newaxis])
+    return StepResponse(nodes=nodes, eigenvalues=eigenvalues,
+                        amplitudes=amplitudes)
+
+
+def exact_delay(tree: RCTree, node: str, threshold: float = 0.5) -> float:
+    """Exact threshold-crossing time for a step at the root."""
+    return step_response(tree).crossing_time(node, threshold)
+
+
+def elmore_exact_gap(tree: RCTree, node: str,
+                     threshold: float = 0.5) -> Dict[str, float]:
+    """Convenience: exact vs Elmore comparison (used in reports/tests)."""
+    from .elmore import elmore_delay
+    exact = exact_delay(tree, node, threshold)
+    elmore = elmore_delay(tree, node)
+    return {"exact": exact, "elmore": elmore,
+            "ratio": elmore / exact if exact > 0 else float("inf")}

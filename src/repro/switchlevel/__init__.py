@@ -1,0 +1,17 @@
+"""Switch-level (ternary, strength-based) logic simulation."""
+
+from .value import Logic, Strength, resolve
+from .solver import Conduction, conduction_state, solve_stage
+from .simulator import SimulationTrace, SwitchSimulator, exhaustive_truth_table
+
+__all__ = [
+    "Logic",
+    "Strength",
+    "resolve",
+    "Conduction",
+    "conduction_state",
+    "solve_stage",
+    "SimulationTrace",
+    "SwitchSimulator",
+    "exhaustive_truth_table",
+]

@@ -1,0 +1,167 @@
+"""Event-driven switch-level simulator.
+
+Unit-delay event simulation over the stage decomposition: when a node
+changes, every stage it gates (or feeds as a boundary) is re-solved; stages
+settle to a fixed point or are reported as oscillating.  This is the
+substrate the timing analyzer uses to establish steady-state node values,
+and a usable logic simulator in its own right (see
+``examples/switch_level_sim.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..errors import SimulationError
+from ..netlist import GND, VDD, Network
+from ..netlist.stages import Stage, StageMap
+from .solver import solve_stage
+from .value import Logic
+
+
+@dataclass
+class SimulationTrace:
+    """Record of one settle() call: per-iteration node changes."""
+
+    events: List[Tuple[int, str, Logic]] = field(default_factory=list)
+
+    def changed_nodes(self) -> Set[str]:
+        return {name for _, name, _ in self.events}
+
+
+class SwitchSimulator:
+    """Switch-level logic simulation of a :class:`~repro.netlist.Network`.
+
+    Usage::
+
+        sim = SwitchSimulator(network)
+        sim.set_inputs(a=1, b=0)
+        sim.settle()
+        assert sim.value("y") is Logic.ONE
+    """
+
+    #: Safety valve: a stage re-evaluated more than this many times within
+    #: one settle() call is assumed to oscillate.
+    MAX_STAGE_VISITS = 200
+
+    def __init__(self, network: Network,
+                 initial: Optional[Mapping[str, Logic]] = None):
+        self.network = network
+        self.stage_map = StageMap.build(network)
+        self._values: Dict[str, Logic] = {}
+        for node in network.nodes:
+            self._values[node.name] = Logic.X
+        self._values[VDD] = Logic.ONE
+        self._values[GND] = Logic.ZERO
+        if initial:
+            for name, value in initial.items():
+                self._values[network.node(name).name] = value
+        # Stages sensitive to each node (as gate or boundary input).
+        self._sensitivity: Dict[str, List[Stage]] = {}
+        for stage in self.stage_map.stages:
+            for node in stage.gate_inputs | stage.boundary_nodes:
+                self._sensitivity.setdefault(node, []).append(stage)
+        self._dirty: Set[int] = set()
+        self._stages_by_index = {s.index: s for s in self.stage_map.stages}
+        # Everything is dirty until the first settle.
+        self._dirty.update(self._stages_by_index)
+
+    # ------------------------------------------------------------------
+
+    def value(self, node: str) -> Logic:
+        name = self.network.node(node).name
+        return self._values[name]
+
+    def values(self) -> Dict[str, Logic]:
+        return dict(self._values)
+
+    def set_input(self, node: str, value) -> None:
+        """Force a primary input (or any externally driven node)."""
+        name = self.network.node(node).name
+        if name in (VDD, GND):
+            raise SimulationError(f"cannot drive supply rail {name!r}")
+        logic = self._coerce(value)
+        if self._values[name] is logic:
+            return
+        self._values[name] = logic
+        self._mark_dirty(name)
+
+    def set_inputs(self, **assignments) -> None:
+        for name, value in assignments.items():
+            self.set_input(name, value)
+
+    def settle(self) -> SimulationTrace:
+        """Propagate until no stage changes; returns the event trace.
+
+        Raises :class:`~repro.errors.SimulationError` when a stage keeps
+        toggling (a switch-level oscillation, e.g. an enabled ring
+        oscillator).
+        """
+        trace = SimulationTrace()
+        visits: Dict[int, int] = {}
+        iteration = 0
+        while self._dirty:
+            iteration += 1
+            index = min(self._dirty)  # deterministic order
+            self._dirty.discard(index)
+            stage = self._stages_by_index[index]
+            visits[index] = visits.get(index, 0) + 1
+            if visits[index] > self.MAX_STAGE_VISITS:
+                nodes = ", ".join(sorted(stage.internal_nodes))
+                raise SimulationError(
+                    f"switch-level oscillation in stage [{nodes}]"
+                )
+            new_values = solve_stage(self.network, stage, self._values)
+            for node, value in new_values.items():
+                if self._values[node] is not value:
+                    self._values[node] = value
+                    trace.events.append((iteration, node, value))
+                    self._mark_dirty(node)
+        return trace
+
+    def run(self, **assignments) -> Dict[str, Logic]:
+        """Set inputs, settle, and return all node values."""
+        self.set_inputs(**assignments)
+        self.settle()
+        return self.values()
+
+    # ------------------------------------------------------------------
+
+    def _mark_dirty(self, node: str) -> None:
+        for stage in self._sensitivity.get(node, ()):
+            self._dirty.add(stage.index)
+
+    @staticmethod
+    def _coerce(value) -> Logic:
+        if isinstance(value, Logic):
+            return value
+        if value in (0, False):
+            return Logic.ZERO
+        if value in (1, True):
+            return Logic.ONE
+        if value in ("x", "X", None):
+            return Logic.X
+        raise SimulationError(f"cannot interpret {value!r} as a logic level")
+
+
+def exhaustive_truth_table(network: Network, inputs: Iterable[str],
+                           outputs: Iterable[str]) -> List[Tuple[Tuple[int, ...], Dict[str, Logic]]]:
+    """Evaluate the network for every input combination (small circuits).
+
+    Returns ``[(input_bits, {output: value}), …]`` — handy for functional
+    verification of generated circuits in tests.
+    """
+    input_list = list(inputs)
+    output_list = list(outputs)
+    if len(input_list) > 16:
+        raise SimulationError("truth table limited to 16 inputs")
+    rows = []
+    for pattern in range(2 ** len(input_list)):
+        sim = SwitchSimulator(network)
+        bits = tuple((pattern >> i) & 1 for i in range(len(input_list)))
+        for name, bit in zip(input_list, bits):
+            sim.set_input(name, bit)
+        sim.settle()
+        rows.append((bits, {name: sim.value(name) for name in output_list}))
+    return rows

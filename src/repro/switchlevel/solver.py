@@ -1,0 +1,178 @@
+"""Per-stage steady-state solver.
+
+Given the logic values of a stage's gate inputs and boundary nodes (rails
+and primary inputs) plus the previous values of its internal nodes (their
+stored charge), compute the new steady-state value of every internal node.
+
+The algorithm is the interval/strength relaxation of MOSSIM II: for each
+logic level ``v`` and node ``n`` it computes
+
+* ``definite[v][n]`` — the strongest source of level ``v`` that reaches
+  ``n`` through *definitely conducting* transistors, and
+* ``possible[v][n]`` — the strongest source that *might* reach ``n`` when
+  transistors with X gates are allowed to conduct.
+
+A node settles to ``v`` only when its strongest definite ``v`` beats every
+possible source of the opposite level; otherwise it is X.  Strength decays
+through devices: a depletion load caps strength at DEPLETION; charge is
+always CHARGED.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..errors import SimulationError
+from ..netlist import GND, VDD, Network
+from ..netlist.stages import Stage
+from ..tech import DeviceKind
+from .value import Logic, Strength
+
+
+@dataclass(frozen=True)
+class Conduction:
+    """A transistor's conduction state for given gate value."""
+
+    definite: bool
+    possible: bool
+
+
+def conduction_state(kind: DeviceKind, gate_value: Logic,
+                     is_load: bool) -> Conduction:
+    """Whether a device conducts: definitely / possibly."""
+    if kind is DeviceKind.NMOS_DEP:
+        # VT is a few volts negative: the device conducts for any logic
+        # level on its gate (loads have the gate tied anyway).
+        del is_load
+        return Conduction(definite=True, possible=True)
+    if kind is DeviceKind.NMOS_ENH:
+        on = gate_value is Logic.ONE
+        off = gate_value is Logic.ZERO
+    else:  # PMOS
+        on = gate_value is Logic.ZERO
+        off = gate_value is Logic.ONE
+    if on:
+        return Conduction(definite=True, possible=True)
+    if off:
+        return Conduction(definite=False, possible=False)
+    return Conduction(definite=False, possible=True)
+
+
+def _device_strength_limit(device, kind: DeviceKind) -> Strength:
+    if device.is_load:
+        return Strength.DEPLETION
+    return Strength.DRIVEN
+
+
+def solve_stage(network: Network, stage: Stage,
+                signals: Mapping[str, Logic]) -> Dict[str, Logic]:
+    """Steady-state values of *stage*'s internal nodes.
+
+    *signals* must provide values for: every gate input of the stage, every
+    boundary node, and the previous value of every internal node (the
+    charge state).  Missing entries default to X, which is always safe.
+    """
+    internal = sorted(stage.internal_nodes)
+    if not internal:
+        return {}
+
+    def sig(name: str) -> Logic:
+        if name == VDD:
+            return Logic.ONE
+        if name == GND:
+            return Logic.ZERO
+        return signals.get(name, Logic.X)
+
+    # strength[definite?][level][node]
+    levels = (Logic.ZERO, Logic.ONE)
+    definite: Dict[Logic, Dict[str, Strength]] = {
+        v: {n: Strength.NONE for n in internal} for v in levels}
+    possible: Dict[Logic, Dict[str, Strength]] = {
+        v: {n: Strength.NONE for n in internal} for v in levels}
+
+    # Seed with stored charge.
+    for node in internal:
+        previous = sig(node)
+        if previous is Logic.X:
+            possible[Logic.ZERO][node] = max(possible[Logic.ZERO][node],
+                                             Strength.CHARGED)
+            possible[Logic.ONE][node] = max(possible[Logic.ONE][node],
+                                            Strength.CHARGED)
+        else:
+            definite[previous][node] = max(definite[previous][node],
+                                           Strength.CHARGED)
+            possible[previous][node] = max(possible[previous][node],
+                                           Strength.CHARGED)
+
+    # Prepare conduction + strength cap per device.
+    prepared = []
+    for device in stage.transistors:
+        cond = conduction_state(device.kind, sig(device.gate), device.is_load)
+        if not cond.possible:
+            continue
+        limit = _device_strength_limit(device, device.kind)
+        prepared.append((device, cond, limit))
+    # Explicit resistors conduct unconditionally at full strength.
+    for res in stage.resistors:
+        prepared.append((res, Conduction(True, True), Strength.DRIVEN))
+
+    def boundary_strength(name: str, level: Logic) -> Strength:
+        value = sig(name)
+        if value is level:
+            return Strength.DRIVEN
+        if value is Logic.X:
+            return Strength.NONE  # handled through `possible` below
+        return Strength.NONE
+
+    def boundary_possible(name: str, level: Logic) -> Strength:
+        value = sig(name)
+        if value is level or value is Logic.X:
+            return Strength.DRIVEN
+        return Strength.NONE
+
+    # Relax to fixed point: small stages, so a simple sweep loop is fine.
+    changed = True
+    sweeps = 0
+    while changed:
+        changed = False
+        sweeps += 1
+        if sweeps > 4 * (len(internal) + len(prepared) + 2):
+            raise SimulationError(
+                f"stage {stage.index} strength relaxation did not settle"
+            )
+        for element, cond, limit in prepared:
+            if hasattr(element, "channel"):
+                a, b = element.channel
+            else:
+                a, b = element.node_a, element.node_b
+            for src, dst in ((a, b), (b, a)):
+                if dst not in stage.internal_nodes:
+                    continue
+                for level in levels:
+                    if src in stage.internal_nodes:
+                        src_def = definite[level][src]
+                        src_pos = possible[level][src]
+                    else:
+                        src_def = boundary_strength(src, level)
+                        src_pos = boundary_possible(src, level)
+                    new_def = min(src_def, limit)
+                    new_pos = min(src_pos, limit)
+                    if cond.definite and new_def > definite[level][dst]:
+                        definite[level][dst] = new_def
+                        changed = True
+                    if cond.possible and new_pos > possible[level][dst]:
+                        possible[level][dst] = new_pos
+                        changed = True
+
+    result: Dict[str, Logic] = {}
+    for node in internal:
+        s0, s1 = definite[Logic.ZERO][node], definite[Logic.ONE][node]
+        p0, p1 = possible[Logic.ZERO][node], possible[Logic.ONE][node]
+        if s1 > Strength.NONE and s1 >= p0 and (p0 == Strength.NONE or s1 > p0):
+            result[node] = Logic.ONE
+        elif s0 > Strength.NONE and (p1 == Strength.NONE or s0 > p1):
+            result[node] = Logic.ZERO
+        else:
+            result[node] = Logic.X
+    return result

@@ -1,0 +1,96 @@
+"""Ternary logic values and signal strengths for switch-level simulation.
+
+The value system is the classic Bryant/MOSSIM one: three logic values
+(0, 1, X for unknown/conflict) and a small ordered strength ladder —
+driven (rails, inputs, enhancement paths), depletion-weak (nMOS pullup
+loads), and charged (isolated node capacitance).  A stronger signal always
+overrides a weaker one; equal-strength conflicts produce X.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class Logic(enum.Enum):
+    """A ternary logic level."""
+
+    ZERO = 0
+    ONE = 1
+    X = 2
+
+    def __invert__(self) -> "Logic":
+        if self is Logic.ZERO:
+            return Logic.ONE
+        if self is Logic.ONE:
+            return Logic.ZERO
+        return Logic.X
+
+    def __and__(self, other: "Logic") -> "Logic":
+        if Logic.ZERO in (self, other):
+            return Logic.ZERO
+        if self is Logic.ONE and other is Logic.ONE:
+            return Logic.ONE
+        return Logic.X
+
+    def __or__(self, other: "Logic") -> "Logic":
+        if Logic.ONE in (self, other):
+            return Logic.ONE
+        if self is Logic.ZERO and other is Logic.ZERO:
+            return Logic.ZERO
+        return Logic.X
+
+    def __xor__(self, other: "Logic") -> "Logic":
+        if Logic.X in (self, other):
+            return Logic.X
+        return Logic.ONE if self is not other else Logic.ZERO
+
+    @property
+    def is_known(self) -> bool:
+        return self is not Logic.X
+
+    @classmethod
+    def from_bool(cls, value: bool) -> "Logic":
+        return cls.ONE if value else cls.ZERO
+
+    @classmethod
+    def from_voltage(cls, voltage: float, vdd: float,
+                     low_frac: float = 0.3, high_frac: float = 0.7) -> "Logic":
+        """Classify an analog voltage with a noise-margin dead zone."""
+        if voltage <= low_frac * vdd:
+            return cls.ZERO
+        if voltage >= high_frac * vdd:
+            return cls.ONE
+        return cls.X
+
+    def to_voltage(self, vdd: float) -> float:
+        """Nominal voltage of the level (X maps to midrail)."""
+        if self is Logic.ZERO:
+            return 0.0
+        if self is Logic.ONE:
+            return vdd
+        return 0.5 * vdd
+
+    def __str__(self) -> str:
+        return {Logic.ZERO: "0", Logic.ONE: "1", Logic.X: "X"}[self]
+
+
+class Strength(enum.IntEnum):
+    """Signal strength ladder, strongest last so comparisons read naturally."""
+
+    NONE = 0  #: no signal at all
+    CHARGED = 1  #: stored charge on an isolated node
+    DEPLETION = 2  #: a depletion pullup load
+    DRIVEN = 3  #: a rail, a primary input, or an enhancement path to one
+
+
+def resolve(values: Iterable[Logic]) -> Logic:
+    """Wired resolution of equal-strength contributions."""
+    result: Logic | None = None
+    for value in values:
+        if result is None:
+            result = value
+        elif result is not value:
+            return Logic.X
+    return result if result is not None else Logic.X

@@ -1,0 +1,47 @@
+"""Technology models: device parameters, capacitance rules, slope tables."""
+
+from .parameters import (
+    DeviceKind,
+    DeviceParams,
+    StaticResistance,
+    Technology,
+    Transition,
+    analytic_static_resistance,
+    ratio_check,
+)
+from .tables import (
+    SlopeTable,
+    SlopeTableSet,
+    analytic_default_tables,
+    logarithmic_ratio_grid,
+)
+from .nmos4 import NMOS4
+from .cmos3 import CMOS3
+from .io import (
+    load_technology,
+    save_technology,
+    technologies_equivalent,
+    technology_from_dict,
+    technology_to_dict,
+)
+
+__all__ = [
+    "load_technology",
+    "save_technology",
+    "technologies_equivalent",
+    "technology_from_dict",
+    "technology_to_dict",
+    "DeviceKind",
+    "DeviceParams",
+    "StaticResistance",
+    "Technology",
+    "Transition",
+    "analytic_static_resistance",
+    "ratio_check",
+    "SlopeTable",
+    "SlopeTableSet",
+    "analytic_default_tables",
+    "logarithmic_ratio_grid",
+    "NMOS4",
+    "CMOS3",
+]

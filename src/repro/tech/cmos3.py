@@ -1,0 +1,69 @@
+"""Generic 3 µm CMOS technology (1984-era magnitudes).
+
+Complementary logic: an inverter pairs a 6/2 nMOS with a 12/2 pMOS (the pMOS
+is widened to compensate for its lower mobility).  Absolute values are
+representative, not a real fab's.
+"""
+
+from __future__ import annotations
+
+from .parameters import (
+    DeviceKind,
+    DeviceParams,
+    StaticResistance,
+    Technology,
+    Transition,
+    analytic_static_resistance,
+)
+from .tables import analytic_default_tables
+
+#: Standard inverter geometries (metres).
+NMOS_W = 6e-6
+NMOS_L = 2e-6
+PMOS_W = 12e-6
+PMOS_L = 2e-6
+PASS_W = 4e-6
+PASS_L = 2e-6
+
+_NMOS = DeviceParams(
+    kind=DeviceKind.NMOS_ENH,
+    vt0=0.8,
+    kp=30e-6,
+    lam=0.02,
+    cox=6.9e-4,
+    cj_per_width=1.0e-9,
+)
+
+_PMOS = DeviceParams(
+    kind=DeviceKind.PMOS,
+    vt0=-0.8,
+    kp=12e-6,
+    lam=0.02,
+    cox=6.9e-4,
+    cj_per_width=1.0e-9,
+)
+
+
+def _build() -> Technology:
+    vdd = 5.0
+    r_n = analytic_static_resistance(_NMOS, vdd)
+    r_p = analytic_static_resistance(_PMOS, vdd)
+    tech = Technology(
+        name="cmos3",
+        vdd=vdd,
+        devices={DeviceKind.NMOS_ENH: _NMOS, DeviceKind.PMOS: _PMOS},
+        static_resistance={
+            (DeviceKind.NMOS_ENH, Transition.FALL): StaticResistance(r_n),
+            # nMOS passing a rising level is degraded by its threshold.
+            (DeviceKind.NMOS_ENH, Transition.RISE): StaticResistance(1.8 * r_n),
+            (DeviceKind.PMOS, Transition.RISE): StaticResistance(r_p),
+            (DeviceKind.PMOS, Transition.FALL): StaticResistance(1.8 * r_p),
+        },
+        default_width=PASS_W,
+        default_length=PASS_L,
+    )
+    return tech.with_slope_tables(analytic_default_tables(tech.devices))
+
+
+#: The shared immutable-by-convention instance.
+CMOS3 = _build()

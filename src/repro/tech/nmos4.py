@@ -1,0 +1,74 @@
+"""Generic 4 µm depletion-load nMOS technology (1984-era magnitudes).
+
+Ratioed logic: a standard inverter uses an 8/2 enhancement pulldown against
+a 2/8 depletion load (beta ratio 16:1 across the two geometries, i.e. the
+classic 4:1 in W/L terms on each side).  Absolute values are representative,
+not a real fab's.
+"""
+
+from __future__ import annotations
+
+from .parameters import (
+    DeviceKind,
+    DeviceParams,
+    StaticResistance,
+    Technology,
+    Transition,
+    analytic_static_resistance,
+)
+from .tables import analytic_default_tables
+
+#: Standard inverter geometries (metres): enhancement pulldown and
+#: depletion load of a minimum ratioed nMOS inverter.
+PULLDOWN_W = 8e-6
+PULLDOWN_L = 2e-6
+LOAD_W = 2e-6
+LOAD_L = 8e-6
+PASS_W = 4e-6
+PASS_L = 2e-6
+
+_ENH = DeviceParams(
+    kind=DeviceKind.NMOS_ENH,
+    vt0=1.0,
+    kp=25e-6,
+    lam=0.02,
+    cox=6.9e-4,
+    cj_per_width=1.0e-9,
+)
+
+_DEP = DeviceParams(
+    kind=DeviceKind.NMOS_DEP,
+    vt0=-3.0,
+    kp=25e-6,
+    lam=0.02,
+    cox=6.9e-4,
+    cj_per_width=1.0e-9,
+)
+
+
+def _build() -> Technology:
+    vdd = 5.0
+    r_enh = analytic_static_resistance(_ENH, vdd)
+    r_dep = analytic_static_resistance(_DEP, vdd)
+    tech = Technology(
+        name="nmos4",
+        vdd=vdd,
+        devices={DeviceKind.NMOS_ENH: _ENH, DeviceKind.NMOS_DEP: _DEP},
+        static_resistance={
+            # Enhancement devices discharge nodes and also pass signals in
+            # both directions; rising transfer through an nMOS is degraded
+            # (the device turns itself off near Vdd - VT), hence the 1.8x.
+            (DeviceKind.NMOS_ENH, Transition.FALL): StaticResistance(r_enh),
+            (DeviceKind.NMOS_ENH, Transition.RISE): StaticResistance(1.8 * r_enh),
+            # Depletion loads only ever pull nodes up.
+            (DeviceKind.NMOS_DEP, Transition.RISE): StaticResistance(r_dep),
+            (DeviceKind.NMOS_DEP, Transition.FALL): StaticResistance(r_dep),
+        },
+        default_width=PASS_W,
+        default_length=PASS_L,
+    )
+    return tech.with_slope_tables(analytic_default_tables(tech.devices))
+
+
+#: The shared immutable-by-convention instance.
+NMOS4 = _build()

@@ -1,0 +1,253 @@
+"""Device kinds and technology parameter sets.
+
+A :class:`Technology` bundles everything the library needs to know about a
+fabrication process:
+
+* per-device-kind SPICE level-1 parameters (used by the analog reference
+  simulator in :mod:`repro.analog`),
+* capacitance rules (gate and diffusion capacitance from geometry, used to
+  annotate netlist nodes),
+* *static* effective resistances per device kind and transition direction
+  (used by the constant-resistance delay models), and
+* optionally, characterized slope-model tables (see
+  :mod:`repro.tech.tables`).
+
+Two generic technologies of 1984-era magnitude ship with the library:
+:data:`repro.tech.NMOS4` (4 µm depletion-load nMOS) and
+:data:`repro.tech.CMOS3` (3 µm CMOS).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..errors import TechnologyError
+
+
+class DeviceKind(enum.Enum):
+    """The three transistor kinds of early-1980s digital MOS."""
+
+    NMOS_ENH = "e"  #: n-channel enhancement (pulldowns, pass devices)
+    NMOS_DEP = "d"  #: n-channel depletion (nMOS pullup loads)
+    PMOS = "p"  #: p-channel enhancement (CMOS pullups)
+
+    @property
+    def is_n_channel(self) -> bool:
+        return self is not DeviceKind.PMOS
+
+    @property
+    def polarity(self) -> int:
+        """+1 for n-channel, -1 for p-channel (sign convention of currents)."""
+        return 1 if self.is_n_channel else -1
+
+
+class Transition(enum.Enum):
+    """Direction of a signal transition."""
+
+    RISE = "rise"
+    FALL = "fall"
+
+    @property
+    def opposite(self) -> "Transition":
+        return Transition.FALL if self is Transition.RISE else Transition.RISE
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """SPICE level-1 (Shichman-Hodges) parameters for one device kind.
+
+    Units are SI: volts, A/V^2, F/m^2, F/m, metres.
+    """
+
+    kind: DeviceKind
+    vt0: float  #: zero-bias threshold voltage (negative for depletion/PMOS)
+    kp: float  #: transconductance parameter KP = mu * Cox
+    lam: float = 0.02  #: channel-length modulation (1/V)
+    gamma: float = 0.0  #: body-effect coefficient (sqrt(V)); 0 disables
+    phi: float = 0.6  #: surface potential (V), used only when gamma > 0
+    cox: float = 6.9e-4  #: gate-oxide capacitance per area (F/m^2)
+    cj_per_width: float = 1.0e-9  #: junction capacitance per device width (F/m)
+
+    def beta(self, width: float, length: float) -> float:
+        """Device transconductance ``KP * W / L`` for the given geometry."""
+        if width <= 0 or length <= 0:
+            raise TechnologyError(
+                f"non-positive geometry W={width}, L={length} for {self.kind}"
+            )
+        return self.kp * width / length
+
+    def gate_capacitance(self, width: float, length: float) -> float:
+        """Lumped gate capacitance ``Cox * W * L``."""
+        return self.cox * width * length
+
+    def diffusion_capacitance(self, width: float) -> float:
+        """Lumped source/drain junction capacitance for one terminal."""
+        return self.cj_per_width * width
+
+    def saturation_current(self, vgs_drive: float, width: float, length: float) -> float:
+        """First-order saturation current at the given gate overdrive.
+
+        *vgs_drive* is ``|VGS|`` for the device; the magnitude of the drain
+        current in saturation is returned.
+        """
+        over = vgs_drive - abs(self.vt0) if self.kind is not DeviceKind.NMOS_DEP else (
+            vgs_drive + abs(self.vt0)
+        )
+        if over <= 0:
+            return 0.0
+        return 0.5 * self.beta(width, length) * over * over
+
+
+@dataclass(frozen=True)
+class StaticResistance:
+    """Constant effective resistance of a device kind for one transition.
+
+    ``r_square`` is the effective resistance of a square device (W == L);
+    a device of geometry W/L has resistance ``r_square * L / W``.  This is
+    the resistance used by the lumped-RC and RC-tree models; the slope model
+    multiplies it by a characterized, slope-dependent factor.
+    """
+
+    r_square: float
+
+    def resistance(self, width: float, length: float) -> float:
+        if width <= 0 or length <= 0:
+            raise TechnologyError(f"non-positive geometry W={width}, L={length}")
+        return self.r_square * length / width
+
+
+@dataclass
+class Technology:
+    """A complete process description.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"nmos4"``, ``"cmos3"``).
+    vdd:
+        Supply voltage in volts.
+    devices:
+        Level-1 parameters per :class:`DeviceKind` present in the process.
+    static_resistance:
+        ``(kind, transition) -> StaticResistance`` map.  *transition* is the
+        direction of the **output** transition the device is driving (a
+        pulldown drives FALL, a pullup drives RISE, a pass device both).
+    lambda_units:
+        Scale factor from netlist geometry units to metres (netlists store
+        W/L in these units; defaults to 1 µm).
+    default_width / default_length:
+        Geometry assumed when a netlist omits it.
+    temperature:
+        Kelvin; informational only for the level-1 model.
+    """
+
+    name: str
+    vdd: float
+    devices: Dict[DeviceKind, DeviceParams]
+    static_resistance: Dict[tuple, StaticResistance] = field(default_factory=dict)
+    lambda_units: float = 1e-6
+    default_width: float = 4e-6
+    default_length: float = 2e-6
+    temperature: float = 300.0
+    slope_tables: Optional[object] = None  # SlopeTableSet, set by tech modules
+
+    def params(self, kind: DeviceKind) -> DeviceParams:
+        try:
+            return self.devices[kind]
+        except KeyError:
+            raise TechnologyError(
+                f"technology {self.name!r} has no {kind.name} devices"
+            ) from None
+
+    def has_kind(self, kind: DeviceKind) -> bool:
+        return kind in self.devices
+
+    def resistance(self, kind: DeviceKind, transition: Transition,
+                   width: float, length: float) -> float:
+        """Static effective resistance of a device for an output transition."""
+        try:
+            entry = self.static_resistance[(kind, transition)]
+        except KeyError:
+            raise TechnologyError(
+                f"technology {self.name!r} has no static resistance for "
+                f"{kind.name}/{transition.value}"
+            ) from None
+        return entry.resistance(width, length)
+
+    def with_slope_tables(self, tables: object) -> "Technology":
+        """Return a copy of this technology carrying the given slope tables."""
+        return replace(self, slope_tables=tables)
+
+    # -- convenience -------------------------------------------------------
+
+    def logic_threshold(self) -> float:
+        """The 50% voltage used for delay measurements."""
+        return 0.5 * self.vdd
+
+    def describe(self) -> str:
+        lines = [f"technology {self.name}: Vdd={self.vdd:g}V"]
+        for kind, params in sorted(self.devices.items(), key=lambda kv: kv[0].value):
+            lines.append(
+                f"  {kind.name:9s} VT0={params.vt0:+.2f}V KP={params.kp * 1e6:.1f}uA/V^2 "
+                f"lambda={params.lam:g}"
+            )
+        return "\n".join(lines)
+
+
+def analytic_static_resistance(params: DeviceParams, vdd: float) -> float:
+    """Derive a first-cut square-device effective resistance analytically.
+
+    The effective resistance of a switching device is approximated by the
+    average of the large-signal resistance at the start of the transition
+    (saturation at full gate drive) and at the midpoint.  For a square
+    device discharging from ``vdd``:
+
+        ``R ~ 3/4 * vdd / Idsat(W/L = 1)``
+
+    which is the classic back-of-the-envelope used before tables are
+    characterized.  The characterization engine
+    (:mod:`repro.core.models.characterize`) replaces these numbers with
+    fitted ones; they only serve as sane defaults.
+    """
+    if params.kind is DeviceKind.NMOS_DEP:
+        # Depletion load with gate tied to source: constant drive |VT0|.
+        over = abs(params.vt0)
+    else:
+        over = vdd - abs(params.vt0)
+    if over <= 0:
+        raise TechnologyError(
+            f"{params.kind.name}: no gate overdrive at Vdd={vdd:g}V"
+        )
+    idsat = 0.5 * params.kp * over * over
+    return 0.75 * vdd / idsat
+
+
+def ratio_check(pulldown_beta: float, load_beta: float, minimum: float = 3.0) -> bool:
+    """nMOS ratioed-logic sanity check: pulldown must overpower the load.
+
+    Returns True when ``pulldown_beta / load_beta >= minimum`` (the classic
+    4:1 rule uses ``minimum=4`` for inverters driven from full levels).
+    """
+    if load_beta <= 0:
+        raise TechnologyError("non-positive load beta")
+    return pulldown_beta / load_beta >= minimum - 1e-12
+
+
+def thermal_voltage(temperature: float = 300.0) -> float:
+    """kT/q in volts — occasionally useful for sanity checks."""
+    return 1.380649e-23 * temperature / 1.602176634e-19
+
+
+def subthreshold_leakage_estimate(params: DeviceParams, width: float,
+                                  length: float, temperature: float = 300.0) -> float:
+    """Crude subthreshold current estimate (A) at VGS=0 — used only by
+    validation heuristics that flag nodes relying on charge storage for
+    longer than a refresh interval."""
+    vt = thermal_voltage(temperature)
+    beta = params.beta(width, length)
+    # I0 * exp(-VT0 / (n kT/q)) with n ~ 1.5 and I0 ~ beta * vt^2
+    n_factor = 1.5
+    return beta * vt * vt * math.exp(-abs(params.vt0) / (n_factor * vt))

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tech import CMOS3, NMOS4
+
+
+@pytest.fixture(scope="session")
+def cmos():
+    return CMOS3
+
+
+@pytest.fixture(scope="session")
+def nmos():
+    return NMOS4
+
+
+#: Coarse ratio grid: characterization for tests runs in a few seconds.
+TEST_RATIOS = [0.05, 0.2, 0.8, 3.0, 12.0, 40.0]
+
+
+@pytest.fixture(scope="session")
+def cmos_char():
+    from repro.core.models import characterize_technology
+    return characterize_technology(CMOS3, ratios=TEST_RATIOS)
+
+
+@pytest.fixture(scope="session")
+def nmos_char():
+    from repro.core.models import characterize_technology
+    return characterize_technology(NMOS4, ratios=TEST_RATIOS)

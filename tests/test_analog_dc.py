@@ -1,0 +1,135 @@
+"""Tests for DC operating-point analysis."""
+
+import pytest
+
+from repro.analog import operating_point
+from repro.circuits import Gates, nand_gate
+from repro.errors import SimulationError
+from repro.netlist import Network
+from repro.tech import CMOS3, NMOS4, DeviceKind
+
+
+def cmos_inverter(load=50e-15):
+    net = Network(CMOS3)
+    net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y",
+                       width=6e-6, length=2e-6)
+    net.add_transistor(DeviceKind.PMOS, "a", "vdd", "y",
+                       width=12e-6, length=2e-6)
+    if load:
+        net.add_capacitor("y", "gnd", load)
+    net.mark_input("a")
+    return net
+
+
+def nmos_inverter():
+    net = Network(NMOS4)
+    net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y",
+                       width=8e-6, length=2e-6)
+    net.add_transistor(DeviceKind.NMOS_DEP, "y", "y", "vdd",
+                       width=2e-6, length=8e-6)
+    net.mark_input("a")
+    return net
+
+
+class TestResistiveNetworks:
+    def test_voltage_divider_exact(self):
+        net = Network(CMOS3)
+        net.add_resistor("vdd", "mid", 1e3)
+        net.add_resistor("mid", "gnd", 3e3)
+        op = operating_point(net, {})
+        assert op["mid"] == pytest.approx(3.75, rel=1e-4)
+
+    def test_three_way_divider(self):
+        net = Network(CMOS3)
+        net.add_resistor("vdd", "a", 1e3)
+        net.add_resistor("a", "b", 1e3)
+        net.add_resistor("b", "gnd", 2e3)
+        op = operating_point(net, {})
+        assert op["a"] == pytest.approx(5.0 * 3 / 4, rel=1e-4)
+        assert op["b"] == pytest.approx(5.0 * 2 / 4, rel=1e-4)
+
+    def test_floating_node_pulled_by_gmin(self):
+        net = Network(CMOS3)
+        net.add_node("lonely")
+        net.add_capacitor("lonely", "gnd", 1e-15)
+        op = operating_point(net, {})
+        assert op["lonely"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_driven_input_forced(self):
+        net = Network(CMOS3)
+        net.add_resistor("a", "y", 1e3)
+        net.add_resistor("y", "gnd", 1e3)
+        net.mark_input("a")
+        op = operating_point(net, {"a": 4.0})
+        assert op["a"] == 4.0
+        assert op["y"] == pytest.approx(2.0, rel=1e-4)
+
+
+class TestCMOSInverter:
+    def test_rail_to_rail(self):
+        net = cmos_inverter()
+        assert operating_point(net, {"a": 0.0})["y"] == pytest.approx(
+            5.0, abs=1e-3)
+        assert operating_point(net, {"a": 5.0})["y"] == pytest.approx(
+            0.0, abs=1e-3)
+
+    def test_switching_threshold_region(self):
+        """Near the inverter threshold the output is between the rails."""
+        net = cmos_inverter()
+        mid = operating_point(net, {"a": 2.2})["y"]
+        assert 0.5 < mid < 4.5
+
+    def test_vtc_monotone(self):
+        net = cmos_inverter()
+        previous = 6.0
+        for vin in (0.0, 1.0, 2.0, 2.5, 3.0, 4.0, 5.0):
+            vout = operating_point(net, {"a": vin})["y"]
+            assert vout <= previous + 1e-6
+            previous = vout
+
+
+class TestNMOSInverter:
+    def test_vol_small_but_nonzero(self):
+        """Ratioed logic: the low level is a fight, not a rail."""
+        vol = operating_point(nmos_inverter(), {"a": 5.0})["y"]
+        assert 0.0 < vol < 0.5
+
+    def test_voh_full_rail(self):
+        voh = operating_point(nmos_inverter(), {"a": 0.0})["y"]
+        assert voh == pytest.approx(5.0, abs=1e-2)
+
+    def test_nand_low_level_worse_with_stack(self):
+        """Two series pulldowns fight the load less effectively than a
+        single pulldown of the same W/L would."""
+        single = operating_point(nmos_inverter(), {"a": 5.0})["y"]
+        nand = nand_gate(NMOS4, 2)
+        stacked = operating_point(nand, {"a0": 5.0, "a1": 5.0})["out"]
+        # Same effective strength by sizing discipline: comparable VOL.
+        assert stacked < 0.6
+        assert stacked == pytest.approx(single, abs=0.4)
+
+
+class TestCMOSGates:
+    def test_nand_truth_levels(self):
+        net = nand_gate(CMOS3, 2)
+        cases = {(0, 0): 5.0, (0, 1): 5.0, (1, 0): 5.0, (1, 1): 0.0}
+        for (a, b), expected in cases.items():
+            op = operating_point(net, {"a0": 5.0 * a, "a1": 5.0 * b})
+            assert op["out"] == pytest.approx(expected, abs=0.05), (a, b)
+
+
+class TestErrors:
+    def test_undriven_input_rejected(self):
+        net = cmos_inverter()
+        with pytest.raises(SimulationError):
+            operating_point(net, {})
+
+    def test_drive_on_rail_rejected(self):
+        net = cmos_inverter()
+        with pytest.raises(SimulationError):
+            operating_point(net, {"a": 0.0, "vdd": 5.0})
+
+    def test_initial_guess_accepted(self):
+        net = cmos_inverter()
+        op = operating_point(net, {"a": 0.0}, initial_guess={"y": 5.0})
+        assert op["y"] == pytest.approx(5.0, abs=1e-3)

@@ -1,0 +1,136 @@
+"""Tests for the nodal-analysis assembly layer (AnalogProblem internals)."""
+
+import numpy as np
+import pytest
+
+from repro.analog import AnalogProblem, sources
+from repro.errors import SimulationError
+from repro.netlist import GND, VDD, Network
+from repro.tech import CMOS3, DeviceKind
+
+
+def divider_network():
+    net = Network(CMOS3)
+    net.add_resistor("vdd", "mid", 1e3)
+    net.add_resistor("mid", "gnd", 1e3)
+    return net
+
+
+class TestIndexing:
+    def test_rails_are_driven(self):
+        problem = AnalogProblem(divider_network(), {})
+        assert problem.index_of(VDD) is None
+        assert problem.index_of(GND) is None
+        assert problem.index_of("mid") is not None
+
+    def test_driven_inputs_excluded_from_unknowns(self):
+        net = divider_network()
+        net.add_node("a")
+        net.mark_input("a")
+        problem = AnalogProblem(net, {"a": 1.0})
+        assert problem.index_of("a") is None
+        assert "a" not in problem.unknowns
+
+    def test_undriven_input_rejected(self):
+        net = divider_network()
+        net.add_node("a")
+        net.mark_input("a")
+        with pytest.raises(SimulationError):
+            AnalogProblem(net, {})
+
+    def test_drive_on_rail_rejected(self):
+        with pytest.raises(SimulationError):
+            AnalogProblem(divider_network(), {"vdd": 5.0})
+
+    def test_voltage_lookup(self):
+        net = divider_network()
+        problem = AnalogProblem(net, {})
+        x = np.array([1.23])
+        assert problem.voltage("mid", x, 0.0) == pytest.approx(1.23)
+        assert problem.voltage(VDD, x, 0.0) == pytest.approx(5.0)
+        assert problem.voltage(GND, x, 0.0) == 0.0
+
+
+class TestAssembly:
+    def test_divider_solution(self):
+        problem = AnalogProblem(divider_network(), {})
+        x = np.zeros(1)
+        matrix, rhs = problem.assemble(x, 0.0, cap_terms=None)
+        solution = np.linalg.solve(matrix, rhs)
+        assert solution[0] == pytest.approx(2.5, rel=1e-6)
+
+    def test_matrix_symmetric_for_linear_network(self):
+        net = Network(CMOS3)
+        net.add_resistor("a", "b", 1e3)
+        net.add_resistor("b", "c", 2e3)
+        net.add_resistor("c", "gnd", 3e3)
+        problem = AnalogProblem(net, {})
+        matrix, _ = problem.assemble(np.zeros(3), 0.0, cap_terms=None)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_gmin_on_diagonal(self):
+        net = Network(CMOS3)
+        net.add_node("floaty")
+        net.add_capacitor("floaty", "gnd", 1e-15)
+        problem = AnalogProblem(net, {}, gmin=1e-9)
+        matrix, _ = problem.assemble(np.zeros(1), 0.0, cap_terms=None)
+        assert matrix[0, 0] == pytest.approx(1e-9)
+
+    def test_cap_terms_length_checked(self):
+        net = Network(CMOS3)
+        net.add_capacitor("a", "gnd", 1e-15)
+        net.add_resistor("a", "gnd", 1e3)
+        problem = AnalogProblem(net, {})
+        with pytest.raises(SimulationError):
+            problem.assemble(np.zeros(1), 0.0, cap_terms=[])
+
+    def test_cap_companion_stamped(self):
+        net = Network(CMOS3)
+        net.add_resistor("vdd", "a", 1e3)
+        net.add_capacitor("a", "gnd", 1e-12)
+        problem = AnalogProblem(net, {})
+        g_eq, i_eq = 1e-3, 2e-3
+        matrix, rhs = problem.assemble(np.zeros(1), 0.0,
+                                       cap_terms=[(g_eq, i_eq)])
+        # Diagonal: resistor + companion + gmin.
+        assert matrix[0, 0] == pytest.approx(1e-3 + g_eq, rel=1e-6)
+        # RHS: source term through the resistor + companion current.
+        assert rhs[0] == pytest.approx(5.0 * 1e-3 + i_eq, rel=1e-6)
+
+
+class TestDeviceStamps:
+    def test_kcl_balance_at_op(self):
+        """At a converged operating point the assembled equations are
+        satisfied: G x = b."""
+        from repro.analog import solve_dc
+
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y",
+                           width=6e-6, length=2e-6)
+        net.add_transistor(DeviceKind.PMOS, "a", "vdd", "y",
+                           width=12e-6, length=2e-6)
+        net.mark_input("a")
+        problem = AnalogProblem(net, {"a": 2.4})
+        op = solve_dc(problem, t=0.0)
+        x = np.array([op[name] for name in problem.unknowns])
+        matrix, rhs = problem.assemble(x, 0.0, cap_terms=None)
+        residual = matrix @ x - rhs
+        assert np.max(np.abs(residual)) < 1e-6
+
+    def test_pmos_bulk_at_vdd(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.PMOS, "a", "vdd", "y")
+        net.mark_input("a")
+        problem = AnalogProblem(net, {"a": 0.0})
+        (device,) = problem._devices
+        assert device.bulk == VDD
+
+    def test_breakpoints_collected(self):
+        net = divider_network()
+        net.add_node("a")
+        net.mark_input("a")
+        problem = AnalogProblem(net, {
+            "a": sources.Ramp(0.0, 5.0, t_start=1e-9, duration=2e-9)})
+        points = problem.breakpoints()
+        for expected in (1e-9, 3e-9):
+            assert any(abs(p - expected) < 1e-15 for p in points)

@@ -1,0 +1,164 @@
+"""Tests for the level-1 MOSFET model: regions, symmetry, derivatives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog import mosfet
+from repro.tech import CMOS3, NMOS4, DeviceKind
+
+NMOS = CMOS3.params(DeviceKind.NMOS_ENH)
+PMOS = CMOS3.params(DeviceKind.PMOS)
+DEP = NMOS4.params(DeviceKind.NMOS_DEP)
+
+W, L = 6e-6, 2e-6
+
+
+class TestRegions:
+    def test_cutoff(self):
+        op = mosfet.evaluate(NMOS, W, L, v_gate=0.0, v_source=0.0,
+                             v_drain=5.0)
+        assert op.region == "cutoff"
+        assert op.current == 0.0
+
+    def test_linear(self):
+        op = mosfet.evaluate(NMOS, W, L, v_gate=5.0, v_source=0.0,
+                             v_drain=0.1)
+        assert op.region == "linear"
+        assert op.current > 0
+
+    def test_saturation(self):
+        op = mosfet.evaluate(NMOS, W, L, v_gate=2.0, v_source=0.0,
+                             v_drain=5.0)
+        assert op.region == "saturation"
+
+    def test_saturation_current_magnitude(self):
+        op = mosfet.evaluate(NMOS, W, L, v_gate=5.0, v_source=0.0,
+                             v_drain=5.0)
+        beta = NMOS.beta(W, L)
+        expected = 0.5 * beta * (5.0 - NMOS.vt0) ** 2 * (1 + NMOS.lam * 5.0)
+        assert op.current == pytest.approx(expected)
+
+    def test_linear_current_magnitude(self):
+        op = mosfet.evaluate(NMOS, W, L, v_gate=5.0, v_source=0.0,
+                             v_drain=0.2)
+        beta = NMOS.beta(W, L)
+        vov = 5.0 - NMOS.vt0
+        expected = beta * (vov * 0.2 - 0.5 * 0.04) * (1 + NMOS.lam * 0.2)
+        assert op.current == pytest.approx(expected)
+
+    def test_depletion_conducts_at_zero_vgs(self):
+        op = mosfet.evaluate(DEP, 2e-6, 8e-6, v_gate=2.0, v_source=2.0,
+                             v_drain=5.0)
+        assert op.current > 0
+
+
+class TestSymmetry:
+    def test_zero_vds_zero_current(self):
+        op = mosfet.evaluate(NMOS, W, L, 5.0, 1.0, 1.0)
+        assert op.current == 0.0
+
+    def test_reverse_conduction(self):
+        """Swapping source and drain flips the current's sign."""
+        fwd = mosfet.evaluate(NMOS, W, L, v_gate=5.0, v_source=0.0,
+                              v_drain=2.0)
+        rev = mosfet.evaluate(NMOS, W, L, v_gate=5.0, v_source=2.0,
+                              v_drain=0.0)
+        assert rev.current == pytest.approx(-fwd.current)
+
+    def test_pass_transistor_cuts_off_near_rail(self):
+        """nMOS passing a high level: once the output reaches VDD - VT the
+        device stops conducting — the threshold-degradation effect."""
+        op = mosfet.evaluate(NMOS, W, L, v_gate=5.0,
+                             v_source=5.0 - NMOS.vt0 + 0.01, v_drain=5.0)
+        assert op.current == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPMOS:
+    def test_conducts_with_low_gate(self):
+        op = mosfet.evaluate(PMOS, 12e-6, 2e-6, v_gate=0.0, v_source=5.0,
+                             v_drain=2.0)
+        # Current flows out of the drain terminal (source at Vdd).
+        assert op.current < 0
+        assert op.region in ("linear", "saturation")
+
+    def test_off_with_high_gate(self):
+        op = mosfet.evaluate(PMOS, 12e-6, 2e-6, v_gate=5.0, v_source=5.0,
+                             v_drain=0.0)
+        assert op.region == "cutoff"
+
+    def test_mirror_of_nmos(self):
+        """A PMOS at mirrored voltages carries the mirrored NMOS current
+        scaled by KP ratio."""
+        n = mosfet.evaluate(NMOS, W, L, 5.0, 0.0, 2.0)
+        p = mosfet.evaluate(PMOS, W, L, 0.0, 5.0, 3.0)
+        # |VTO| differs? both are 0.8 in CMOS3, so only KP scales.
+        assert p.current == pytest.approx(
+            -n.current * PMOS.kp / NMOS.kp, rel=1e-9)
+
+
+def finite_difference(params, w, l, vg, vs, vd, axis, h=1e-6):
+    def current(g, s, d):
+        return mosfet.evaluate(params, w, l, g, s, d).current
+
+    base = [vg, vs, vd]
+    lo = list(base)
+    hi = list(base)
+    lo[axis] -= h
+    hi[axis] += h
+    return (current(*hi) - current(*lo)) / (2 * h)
+
+
+class TestDerivatives:
+    """The Newton stamps live or die by correct partial derivatives."""
+
+    voltage = st.floats(min_value=-0.5, max_value=5.5)
+
+    @settings(max_examples=120, deadline=None)
+    @given(vg=voltage, vs=voltage, vd=voltage)
+    def test_nmos_derivatives_match_finite_difference(self, vg, vs, vd):
+        self._check(NMOS, vg, vs, vd)
+
+    @settings(max_examples=120, deadline=None)
+    @given(vg=voltage, vs=voltage, vd=voltage)
+    def test_pmos_derivatives_match_finite_difference(self, vg, vs, vd):
+        self._check(PMOS, vg, vs, vd)
+
+    @settings(max_examples=60, deadline=None)
+    @given(vg=voltage, vs=voltage, vd=voltage)
+    def test_depletion_derivatives_match_finite_difference(self, vg, vs, vd):
+        self._check(DEP, vg, vs, vd)
+
+    def _check(self, params, vg, vs, vd):
+        # Stay away from region boundaries where derivatives jump.
+        for boundary in self._boundaries(params, vg, vs, vd):
+            if abs(boundary) < 1e-3:
+                return
+        op = mosfet.evaluate(params, W, L, vg, vs, vd)
+        for axis, analytic in ((0, op.g_gate), (1, op.g_source),
+                               (2, op.g_drain)):
+            numeric = finite_difference(params, W, L, vg, vs, vd, axis)
+            scale = max(abs(analytic), abs(numeric), 1e-9)
+            assert abs(analytic - numeric) / scale < 1e-3, (
+                params.kind, (vg, vs, vd), axis, analytic, numeric)
+
+    @staticmethod
+    def _boundaries(params, vg, vs, vd):
+        sign = -1.0 if params.kind is DeviceKind.PMOS else 1.0
+        g, s, d = sign * vg, sign * vs, sign * vd
+        if d < s:
+            s, d = d, s
+        vt = params.vt0 if params.kind is not DeviceKind.PMOS else -params.vt0
+        vov = (g - s) - vt
+        return (vov, (d - s) - vov, d - s)
+
+
+class TestConducts:
+    def test_on_device(self):
+        assert mosfet.conducts(NMOS, 5.0, 0.0, 0.0)
+
+    def test_off_device(self):
+        assert not mosfet.conducts(NMOS, 0.0, 0.0, 5.0)
+
+    def test_depletion_always(self):
+        assert mosfet.conducts(DEP, 0.0, 0.0, 0.0)

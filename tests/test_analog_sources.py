@@ -1,0 +1,157 @@
+"""Tests for drive waveforms."""
+
+import pytest
+
+from repro.analog.sources import (
+    DC,
+    PWL,
+    Pulse,
+    Ramp,
+    as_drive,
+    edge,
+    from_spec,
+    step_down,
+    step_up,
+)
+from repro.errors import SimulationError
+from repro.netlist.spice_format import StimulusSpec
+
+
+class TestDC:
+    def test_constant(self):
+        assert DC(3.3).voltage(0.0) == 3.3
+        assert DC(3.3).voltage(1e9) == 3.3
+
+    def test_no_breakpoints(self):
+        assert DC(1.0).breakpoints() == ()
+
+
+class TestRamp:
+    def test_before_during_after(self):
+        r = Ramp(0.0, 5.0, t_start=1.0, duration=2.0)
+        assert r.voltage(0.5) == 0.0
+        assert r.voltage(2.0) == pytest.approx(2.5)
+        assert r.voltage(5.0) == 5.0
+
+    def test_zero_duration_step(self):
+        r = Ramp(0.0, 5.0, t_start=1.0, duration=0.0)
+        assert r.voltage(0.999) == 0.0
+        assert r.voltage(1.001) == 5.0
+
+    def test_breakpoints(self):
+        assert Ramp(0, 5, 1.0, 2.0).breakpoints() == (1.0, 3.0)
+        assert Ramp(0, 5, 1.0, 0.0).breakpoints() == (1.0,)
+
+    def test_falling(self):
+        r = Ramp(5.0, 0.0, t_start=0.0, duration=4.0)
+        assert r.voltage(2.0) == pytest.approx(2.5)
+
+
+class TestPulse:
+    @pytest.fixture
+    def pulse(self):
+        return Pulse(v1=0.0, v2=5.0, delay=1.0, rise=1.0, fall=1.0,
+                     width=2.0, period=10.0)
+
+    def test_phases(self, pulse):
+        assert pulse.voltage(0.5) == 0.0  # before delay
+        assert pulse.voltage(1.5) == pytest.approx(2.5)  # rising
+        assert pulse.voltage(3.0) == 5.0  # high
+        assert pulse.voltage(4.5) == pytest.approx(2.5)  # falling
+        assert pulse.voltage(6.0) == 0.0  # low again
+
+    def test_periodic_repeat(self, pulse):
+        assert pulse.voltage(13.0) == pytest.approx(pulse.voltage(3.0))
+
+    def test_single_shot(self):
+        p = Pulse(v1=0.0, v2=5.0, delay=1.0, rise=0.0, fall=0.0,
+                  width=2.0, period=0.0)
+        assert p.voltage(100.0) == 0.0
+
+    def test_zero_rise_is_step(self):
+        p = Pulse(v1=0.0, v2=5.0, delay=1.0, width=2.0)
+        assert p.voltage(1.0) == 5.0
+        assert p.voltage(0.999) == 0.0
+
+    def test_breakpoints_cover_corners(self, pulse):
+        points = pulse.breakpoints()
+        for expected in (1.0, 2.0, 4.0, 5.0, 11.0):
+            assert any(abs(p - expected) < 1e-12 for p in points)
+
+
+class TestPWL:
+    def test_interpolation(self):
+        w = PWL(points=((0.0, 0.0), (1.0, 5.0), (3.0, 1.0)))
+        assert w.voltage(0.5) == pytest.approx(2.5)
+        assert w.voltage(2.0) == pytest.approx(3.0)
+
+    def test_clamping(self):
+        w = PWL(points=((1.0, 2.0), (2.0, 4.0)))
+        assert w.voltage(0.0) == 2.0
+        assert w.voltage(10.0) == 4.0
+
+    def test_times_must_increase(self):
+        with pytest.raises(SimulationError):
+            PWL(points=((1.0, 0.0), (1.0, 5.0)))
+
+    def test_needs_points(self):
+        with pytest.raises(SimulationError):
+            PWL(points=())
+
+    def test_breakpoints(self):
+        w = PWL(points=((0.0, 0.0), (1.0, 5.0)))
+        assert w.breakpoints() == (0.0, 1.0)
+
+
+class TestCoercion:
+    def test_as_drive_passthrough(self):
+        d = DC(1.0)
+        assert as_drive(d) is d
+
+    def test_as_drive_number(self):
+        assert as_drive(2.5).voltage(0) == 2.5
+        assert as_drive(3).voltage(0) == 3.0
+
+    def test_as_drive_rejects_junk(self):
+        with pytest.raises(SimulationError):
+            as_drive("high")
+
+
+class TestFromSpec:
+    def test_dc(self):
+        d = from_spec(StimulusSpec(kind="dc", values=(5.0,)))
+        assert d.voltage(0) == 5.0
+
+    def test_pulse_with_defaults(self):
+        d = from_spec(StimulusSpec(kind="pulse", values=(0.0, 5.0, 1e-9)))
+        assert isinstance(d, Pulse)
+        assert d.delay == pytest.approx(1e-9)
+
+    def test_pulse_needs_two_values(self):
+        with pytest.raises(SimulationError):
+            from_spec(StimulusSpec(kind="pulse", values=(1.0,)))
+
+    def test_pwl(self):
+        d = from_spec(StimulusSpec(kind="pwl",
+                                   values=(0.0, 0.0, 1e-9, 5.0)))
+        assert isinstance(d, PWL)
+
+    def test_pwl_odd_values(self):
+        with pytest.raises(SimulationError):
+            from_spec(StimulusSpec(kind="pwl", values=(0.0, 0.0, 1e-9)))
+
+    def test_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            from_spec(StimulusSpec(kind="sin", values=(0.0, 5.0)))
+
+
+class TestHelpers:
+    def test_step_up_down(self):
+        assert step_up(5.0, at=1.0).voltage(2.0) == 5.0
+        assert step_down(5.0, at=1.0).voltage(2.0) == 0.0
+
+    def test_edge(self):
+        e = edge(5.0, rising=True, at=1.0, transition_time=2.0)
+        assert e.voltage(2.0) == pytest.approx(2.5)
+        e = edge(5.0, rising=False, at=0.0, transition_time=2.0)
+        assert e.voltage(1.0) == pytest.approx(2.5)

@@ -1,0 +1,209 @@
+"""Tests for transient analysis: analytic RC checks, integration methods,
+initial conditions, charge coupling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analog import simulate, sources
+from repro.errors import SimulationError
+from repro.netlist import Network
+from repro.tech import CMOS3, NMOS4, DeviceKind, Transition
+
+
+def rc_network(r=1e3, c=1e-12):
+    net = Network(CMOS3)
+    net.add_resistor("in", "out", r)
+    net.add_capacitor("out", "gnd", c)
+    net.mark_input("in")
+    return net
+
+
+class TestLinearRC:
+    def test_charging_matches_analytic(self):
+        r, c = 1e3, 1e-12
+        net = rc_network(r, c)
+        tau = r * c
+        result = simulate(net, {"in": sources.step_up(5.0, at=0.0)},
+                          t_stop=6 * tau, steps=1200)
+        wf = result.waveform("out")
+        for multiple in (0.5, 1.0, 2.0, 4.0):
+            t = multiple * tau
+            expected = 5.0 * (1 - math.exp(-multiple))
+            assert wf.value_at(t) == pytest.approx(expected, rel=2e-2)
+
+    def test_discharge(self):
+        r, c = 2e3, 0.5e-12
+        net = rc_network(r, c)
+        tau = r * c
+        result = simulate(net, {"in": sources.step_down(5.0, at=0.0)},
+                          t_stop=5 * tau,
+                          initial_conditions={"out": 5.0}, steps=1000)
+        wf = result.waveform("out")
+        assert wf.value_at(tau) == pytest.approx(5.0 * math.exp(-1), rel=2e-2)
+
+    def test_50_percent_crossing_at_ln2_tau(self):
+        r, c = 1e3, 1e-12
+        net = rc_network(r, c)
+        tau = r * c
+        result = simulate(net, {"in": sources.step_up(5.0, at=0.0)},
+                          t_stop=6 * tau, steps=2000)
+        crossing = result.waveform("out").first_crossing(2.5, Transition.RISE)
+        assert crossing == pytest.approx(math.log(2) * tau, rel=1e-2)
+
+    def test_be_more_dissipative_than_trap(self):
+        """Backward Euler under-shoots the exact exponential; trapezoidal
+        tracks it more closely at coarse steps."""
+        r, c = 1e3, 1e-12
+        tau = r * c
+        exact = 5.0 * (1 - math.exp(-1))
+        values = {}
+        for method in ("be", "trap"):
+            result = simulate(rc_network(r, c),
+                              {"in": sources.step_up(5.0, at=0.0)},
+                              t_stop=3 * tau, steps=30, method=method)
+            values[method] = result.waveform("out").value_at(tau)
+        assert abs(values["trap"] - exact) <= abs(values["be"] - exact)
+
+    def test_two_stage_ladder_final_values(self):
+        net = Network(CMOS3)
+        net.add_resistor("in", "m", 1e3)
+        net.add_resistor("m", "out", 1e3)
+        net.add_capacitor("m", "gnd", 1e-12)
+        net.add_capacitor("out", "gnd", 1e-12)
+        net.mark_input("in")
+        result = simulate(net, {"in": sources.step_up(5.0, at=0.0)},
+                          t_stop=30e-9, steps=800)
+        finals = result.final_voltages()
+        assert finals["m"] == pytest.approx(5.0, rel=1e-3)
+        assert finals["out"] == pytest.approx(5.0, rel=1e-3)
+
+
+class TestSourceHandling:
+    def test_breakpoints_land_on_grid(self):
+        net = rc_network()
+        drive = sources.Pulse(v1=0.0, v2=5.0, delay=1.33e-9, rise=0.0,
+                              fall=0.0, width=2e-9)
+        result = simulate(net, {"in": drive}, t_stop=10e-9, steps=100)
+        assert any(abs(t - 1.33e-9) < 1e-15 for t in result.times)
+
+    def test_input_waveform_recorded(self):
+        net = rc_network()
+        result = simulate(net, {"in": sources.step_up(5.0, at=1e-9)},
+                          t_stop=5e-9, steps=200)
+        wf = result.waveform("in")
+        assert wf.initial_value() == 0.0
+        assert wf.final_value() == 5.0
+
+    def test_unknown_waveform_requested(self):
+        net = rc_network()
+        result = simulate(net, {"in": 0.0}, t_stop=1e-9, steps=50)
+        with pytest.raises(SimulationError):
+            result.waveform("nonexistent")
+
+    def test_vdd_waveform_available(self):
+        net = rc_network()
+        result = simulate(net, {"in": 0.0}, t_stop=1e-9, steps=50)
+        assert result.waveform("vdd").final_value() == pytest.approx(5.0)
+
+
+class TestInitialConditions:
+    def test_ic_overrides_dc(self):
+        net = rc_network()
+        result = simulate(net, {"in": 0.0}, t_stop=10e-9,
+                          initial_conditions={"out": 3.0}, steps=400)
+        wf = result.waveform("out")
+        assert wf.initial_value() == pytest.approx(3.0, abs=1e-6)
+        assert wf.final_value() == pytest.approx(0.0, abs=1e-2)
+
+    def test_use_ic_only_skips_dc(self):
+        net = rc_network()
+        result = simulate(net, {"in": 5.0}, t_stop=10e-9,
+                          use_ic_only=True, steps=400)
+        # All unknowns start at 0 regardless of the drive.
+        assert result.waveform("out").initial_value() == 0.0
+
+    def test_t_stop_validation(self):
+        with pytest.raises(SimulationError):
+            simulate(rc_network(), {"in": 0.0}, t_stop=0.0)
+
+    def test_method_validation(self):
+        with pytest.raises(SimulationError):
+            simulate(rc_network(), {"in": 0.0}, t_stop=1e-9,
+                     method="gear2")
+
+
+class TestChargeCoupling:
+    def test_floating_cap_bootstraps_a_node(self):
+        """A step through a floating capacitor into a lightly loaded node
+        kicks the node above its DC level — the mechanism bootstrap
+        drivers exploit."""
+        net = Network(NMOS4)
+        net.add_capacitor("a", "boot", 100e-15)
+        net.add_capacitor("boot", "gnd", 10e-15)
+        net.add_resistor("boot", "gnd", 10e6)  # slow leak
+        net.mark_input("a")
+        result = simulate(net, {"a": sources.step_up(5.0, at=1e-9)},
+                          t_stop=5e-9, steps=500)
+        peak = float(np.max(result.waveform("boot").values))
+        # Capacitive divider: 100 / (100 + 10) of the 5V step.
+        assert peak == pytest.approx(5.0 * 100 / 110, rel=0.05)
+
+    def test_cmos_inverter_transient_polarity(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y",
+                           width=6e-6, length=2e-6)
+        net.add_transistor(DeviceKind.PMOS, "a", "vdd", "y",
+                           width=12e-6, length=2e-6)
+        net.add_capacitor("y", "gnd", 50e-15)
+        net.mark_input("a")
+        result = simulate(
+            net, {"a": sources.edge(5.0, rising=True, at=1e-9,
+                                    transition_time=0.5e-9)},
+            t_stop=10e-9, steps=600)
+        wf = result.waveform("y")
+        assert wf.initial_value() > 4.9
+        assert wf.final_value() < 0.1
+
+    def test_nmos_inverter_rise_slower_than_fall(self):
+        """Ratioed nMOS: the depletion pullup is much weaker than the
+        enhancement pulldown."""
+        net = Network(NMOS4)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y",
+                           width=8e-6, length=2e-6)
+        net.add_transistor(DeviceKind.NMOS_DEP, "y", "y", "vdd",
+                           width=2e-6, length=8e-6)
+        net.add_capacitor("y", "gnd", 50e-15)
+        net.mark_input("a")
+        fall = simulate(net, {"a": sources.step_up(5.0, at=1e-9)},
+                        t_stop=60e-9, steps=1200)
+        t_fall = fall.waveform("y").first_crossing(2.5, Transition.FALL)
+        rise = simulate(net, {"a": sources.step_down(5.0, at=1e-9)},
+                        t_stop=60e-9, steps=1200)
+        t_rise = rise.waveform("y").first_crossing(2.5, Transition.RISE)
+        assert (t_rise - 1e-9) > 3.0 * (t_fall - 1e-9)
+
+
+class TestNumericalRobustness:
+    def test_stiff_circuit_substeps(self):
+        """A tiny cap on a strong driver (stiff) must not break the
+        integrator."""
+        net = Network(CMOS3)
+        net.add_resistor("in", "fast", 10.0)
+        net.add_capacitor("fast", "gnd", 1e-16)
+        net.add_resistor("fast", "slow", 1e6)
+        net.add_capacitor("slow", "gnd", 1e-12)
+        net.mark_input("in")
+        result = simulate(net, {"in": sources.step_up(5.0, at=0.0)},
+                          t_stop=5e-6, steps=300)
+        assert result.waveform("slow").final_value() == pytest.approx(
+            5.0, rel=1e-2)
+
+    def test_empty_unknowns_ok(self):
+        """A network where everything is driven still simulates."""
+        net = Network(CMOS3)
+        net.add_node("a")
+        net.mark_input("a")
+        result = simulate(net, {"a": 1.0}, t_stop=1e-9, steps=10)
+        assert result.waveform("a").final_value() == 1.0

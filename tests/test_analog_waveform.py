@@ -1,0 +1,169 @@
+"""Tests for waveforms and measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analog import Waveform, delay_between, ramp_waveform, sample_uniform
+from repro.errors import MeasurementError
+from repro.tech import Transition
+
+
+def ramp(t0=1.0, duration=2.0, lo=0.0, hi=5.0, t_stop=10.0):
+    return ramp_waveform(t0, duration, lo, hi, t_stop)
+
+
+class TestConstruction:
+    def test_requires_equal_lengths(self):
+        with pytest.raises(MeasurementError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_requires_two_samples(self):
+        with pytest.raises(MeasurementError):
+            Waveform(np.array([0.0]), np.array([1.0]))
+
+    def test_requires_increasing_times(self):
+        with pytest.raises(MeasurementError):
+            Waveform(np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+
+    def test_sample_uniform_accepts_lists(self):
+        wf = sample_uniform([0, 1, 2], [0, 5, 5])
+        assert wf.value_at(0.5) == pytest.approx(2.5)
+
+
+class TestBasicAccess:
+    def test_value_interpolates(self):
+        wf = ramp()
+        assert wf.value_at(2.0) == pytest.approx(2.5)
+
+    def test_value_clamps_outside(self):
+        wf = ramp()
+        assert wf.value_at(-5.0) == pytest.approx(0.0)
+        assert wf.value_at(50.0) == pytest.approx(5.0)
+
+    def test_initial_final(self):
+        wf = ramp()
+        assert wf.initial_value() == 0.0
+        assert wf.final_value() == 5.0
+
+    def test_window(self):
+        wf = ramp()
+        cut = wf.window(1.5, 2.5)
+        assert cut.t_start == pytest.approx(1.5)
+        assert cut.initial_value() == pytest.approx(1.25)
+
+    def test_window_bounds_checked(self):
+        with pytest.raises(MeasurementError):
+            ramp().window(-1.0, 2.0)
+
+    def test_settles_to(self):
+        assert ramp().settles_to(5.0, 0.01)
+        assert not ramp().settles_to(0.0, 0.01)
+
+
+class TestCrossings:
+    def test_single_rising_crossing(self):
+        wf = ramp()
+        times = wf.crossings(2.5, Transition.RISE)
+        assert times == [pytest.approx(2.0)]
+
+    def test_direction_filter(self):
+        wf = ramp()
+        assert wf.crossings(2.5, Transition.FALL) == []
+
+    def test_pulse_has_both(self):
+        wf = sample_uniform([0, 1, 2, 3, 4], [0, 5, 5, 0, 0])
+        assert len(wf.crossings(2.5, Transition.RISE)) == 1
+        assert len(wf.crossings(2.5, Transition.FALL)) == 1
+        assert len(wf.crossings(2.5)) == 2
+
+    def test_first_crossing_after(self):
+        wf = sample_uniform([0, 1, 2, 3, 4, 5], [0, 5, 0, 5, 5, 5])
+        assert wf.first_crossing(2.5, Transition.RISE) == pytest.approx(0.5)
+        assert wf.first_crossing(2.5, Transition.RISE,
+                                 after=1.5) == pytest.approx(2.5)
+
+    def test_first_crossing_missing_raises(self):
+        with pytest.raises(MeasurementError):
+            ramp().first_crossing(2.5, Transition.FALL)
+
+    def test_last_crossing(self):
+        wf = sample_uniform([0, 1, 2, 3], [0, 5, 0, 5])
+        assert wf.last_crossing(2.5, Transition.RISE) == pytest.approx(2.5)
+
+    def test_last_crossing_missing_raises(self):
+        with pytest.raises(MeasurementError):
+            ramp().last_crossing(6.0)
+
+    @given(st.floats(min_value=0.2, max_value=4.8))
+    def test_crossing_matches_interpolation(self, threshold):
+        wf = ramp()
+        t = wf.first_crossing(threshold, Transition.RISE)
+        assert wf.value_at(t) == pytest.approx(threshold, abs=1e-9)
+
+
+class TestTransitionTime:
+    def test_perfect_ramp_reports_duration(self):
+        wf = ramp(duration=2.0)
+        tt = wf.transition_time(0.0, 5.0, Transition.RISE)
+        assert tt == pytest.approx(2.0)
+
+    def test_falling_edge(self):
+        wf = sample_uniform([0, 1, 3, 10], [5, 5, 0, 0])
+        tt = wf.transition_time(0.0, 5.0, Transition.FALL)
+        assert tt == pytest.approx(2.0)
+
+    def test_fraction_rescaling(self):
+        """Different measurement fractions agree on a linear edge."""
+        wf = ramp(duration=4.0)
+        a = wf.transition_time(0.0, 5.0, Transition.RISE,
+                               low_frac=0.1, high_frac=0.9)
+        b = wf.transition_time(0.0, 5.0, Transition.RISE,
+                               low_frac=0.2, high_frac=0.8)
+        assert a == pytest.approx(b)
+
+    def test_exponential_settle(self):
+        """An RC exponential's 10-90 full-swing time is ln(9)/0.8 tau."""
+        t = np.linspace(0, 10, 4000)
+        wf = Waveform(t, 5.0 * (1 - np.exp(-t)))
+        tt = wf.transition_time(0.0, 5.0, Transition.RISE)
+        assert tt == pytest.approx(np.log(9) / 0.8, rel=1e-2)
+
+    def test_invalid_swing(self):
+        with pytest.raises(MeasurementError):
+            ramp().transition_time(5.0, 0.0, Transition.RISE)
+
+
+class TestDelayBetween:
+    def test_simple_inverter_delay(self):
+        vin = ramp(t0=1.0, duration=1.0)
+        vout = sample_uniform([0, 2, 3, 10], [5, 5, 0, 0])
+        d = delay_between(vin, vout, 5.0, Transition.RISE, Transition.FALL)
+        # in crosses 2.5 at t=1.5; out crosses 2.5 at t=2.5.
+        assert d == pytest.approx(1.0)
+
+    def test_negative_delay_found(self):
+        """Slow input, early output: the output switches before the input
+        midpoint — the measurement must not miss it."""
+        vin = ramp(t0=0.0, duration=8.0, t_stop=20.0)  # crosses 2.5 at t=4
+        vout = sample_uniform([0, 2, 3, 20], [5, 5, 0, 0])  # falls at 2.5
+        d = delay_between(vin, vout, 5.0, Transition.RISE, Transition.FALL)
+        assert d < 0
+
+    def test_missing_output_edge_raises(self):
+        vin = ramp()
+        vout = sample_uniform([0, 10], [0, 0])
+        with pytest.raises(MeasurementError):
+            delay_between(vin, vout, 5.0, Transition.RISE, Transition.RISE)
+
+
+class TestRampWaveform:
+    def test_zero_duration_is_step(self):
+        wf = ramp_waveform(1.0, 0.0, 0.0, 5.0, 10.0)
+        assert wf.value_at(0.99) == pytest.approx(0.0)
+        assert wf.value_at(1.01) == pytest.approx(5.0)
+
+    def test_start_at_zero(self):
+        wf = ramp_waveform(0.0, 1.0, 0.0, 5.0, 10.0)
+        assert wf.t_start == 0.0

@@ -1,0 +1,158 @@
+"""Tests for the benchmark harness (scenario running, summaries, tables)."""
+
+import pytest
+
+from repro.analog import sources
+from repro.bench import (
+    ComparisonRow,
+    ModelEstimate,
+    Scenario,
+    cmos_scenarios,
+    format_comparison_table,
+    format_error_summary,
+    format_runtime_table,
+    format_series,
+    nmos_scenarios,
+    run_scenario,
+    runtime_comparison,
+    summarize_errors,
+    time_callable,
+)
+from repro.bench.harness import scenario_states
+from repro.circuits import inverter_chain
+from repro.core.models import LumpedRCModel
+from repro.core.timing import InputSpec
+from repro.errors import AnalysisError
+from repro.switchlevel import Logic
+from repro.tech import Transition
+
+
+def tiny_scenario(tech, auto_states=True):
+    net = inverter_chain(tech, 1, load_cap=60e-15)
+    return Scenario(
+        name="tiny-inverter",
+        network=net,
+        drives={"in": sources.edge(tech.vdd, rising=True, at=1e-9,
+                                   transition_time=0.3e-9)},
+        timing_inputs={"in": InputSpec(arrival_rise=0.0, arrival_fall=None,
+                                       slope=0.3e-9)},
+        input_node="in",
+        input_edge=Transition.RISE,
+        output_node="out",
+        output_edge=Transition.FALL,
+        t_stop=20e-9,
+        steps=800,
+        auto_states=auto_states,
+    )
+
+
+class TestScenarioExecution:
+    def test_run_scenario_produces_estimates(self, cmos_char):
+        row = run_scenario(tiny_scenario(cmos_char))
+        assert row.reference > 0
+        assert {e.model for e in row.estimates} == {
+            "lumped-rc", "rc-tree", "slope"}
+        for estimate in row.estimates:
+            assert estimate.delay > 0
+
+    def test_slope_model_wins_on_inverter(self, cmos_char):
+        row = run_scenario(tiny_scenario(cmos_char))
+        assert abs(row.estimate("slope").error) < 0.15
+
+    def test_single_model_subset(self, cmos_char):
+        row = run_scenario(tiny_scenario(cmos_char),
+                           models=[LumpedRCModel()])
+        assert len(row.estimates) == 1
+
+    def test_estimate_lookup_raises(self):
+        row = ComparisonRow(scenario="x", reference=1.0)
+        with pytest.raises(AnalysisError):
+            row.estimate("slope")
+
+    def test_scenario_states_computed(self, cmos_char):
+        pre, post = scenario_states(tiny_scenario(cmos_char))
+        assert pre["out"] is Logic.ONE  # input low before the edge
+        assert post["out"] is Logic.ZERO
+
+
+class TestScenarioCatalogs:
+    def test_nmos_catalog_complete(self, nmos_char):
+        names = {s.name for s in nmos_scenarios(nmos_char)}
+        assert {"inv-chain-4", "pass-chain-8", "bootstrap",
+                "bus-discharge"} <= names
+
+    def test_cmos_catalog_complete(self, cmos_char):
+        names = {s.name for s in cmos_scenarios(cmos_char)}
+        assert {"inv-chain-4", "pass-chain-8", "tgate-mux",
+                "bus-discharge"} <= names
+
+    def test_scenarios_reference_real_ports(self, cmos_char):
+        for scenario in cmos_scenarios(cmos_char):
+            assert scenario.network.has_node(scenario.input_node)
+            assert scenario.network.has_node(scenario.output_node)
+            for node in scenario.drives:
+                assert scenario.network.has_node(node)
+
+
+class TestSummaries:
+    def make_rows(self):
+        return [
+            ComparisonRow("a", 1.0, [ModelEstimate("m", 1.1, 0.1),
+                                     ModelEstimate("n", 2.0, 1.0)]),
+            ComparisonRow("b", 2.0, [ModelEstimate("m", 1.8, -0.1),
+                                     ModelEstimate("n", 2.2, 0.1)]),
+        ]
+
+    def test_summarize_errors(self):
+        summaries = {s.model: s for s in summarize_errors(self.make_rows())}
+        assert summaries["m"].mean_abs_error == pytest.approx(0.1)
+        assert summaries["m"].mean_signed_error == pytest.approx(0.0)
+        assert summaries["n"].max_abs_error == pytest.approx(1.0)
+        assert summaries["n"].rows == 2
+
+    def test_summarize_empty(self):
+        assert summarize_errors([]) == []
+
+    def test_comparison_table_renders(self):
+        text = format_comparison_table(self.make_rows(), "demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "+10.0%" in text or "+10.0" in text
+
+    def test_error_summary_renders(self):
+        text = format_error_summary(summarize_errors(self.make_rows()),
+                                    "errors")
+        assert "mean |err|" in text
+
+    def test_series_renders(self):
+        text = format_series(["x", "y"], [(1, 2.0), (3, 4.0)], "series")
+        assert "series" in text and "1" in text
+
+
+class TestRuntime:
+    def test_time_callable_positive(self):
+        assert time_callable(lambda: sum(range(100))) > 0
+
+    def test_runtime_comparison_analyzer_only(self, cmos_char):
+        net = inverter_chain(cmos_char, 3)
+        row = runtime_comparison(net, timing_inputs={"in": 0.0},
+                                 simulate_reference=False)
+        assert row.transistors == 6
+        assert row.analyzer_seconds > 0
+        assert row.simulator_seconds is None
+        assert row.speedup is None
+
+    def test_runtime_comparison_with_reference(self, cmos_char):
+        net = inverter_chain(cmos_char, 2)
+        row = runtime_comparison(
+            net, timing_inputs={"in": 0.0},
+            drives={"in": sources.step_up(cmos_char.vdd, at=1e-9)},
+            t_stop=10e-9)
+        assert row.speedup is not None and row.speedup > 0
+
+    def test_runtime_table_renders(self, cmos_char):
+        net = inverter_chain(cmos_char, 2)
+        row = runtime_comparison(net, timing_inputs={"in": 0.0},
+                                 simulate_reference=False)
+        text = format_runtime_table([row], "runtime")
+        assert "(skipped)" in text

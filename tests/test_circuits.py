@@ -1,0 +1,235 @@
+"""Tests for gate primitives and circuit generators: structure plus
+switch-level functional verification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Gates,
+    adder_assignments,
+    adder_input_names,
+    adder_result,
+    bootstrap_driver,
+    decoder,
+    decoder_output_names,
+    full_adder,
+    inverter_chain,
+    mux_tree,
+    nand_gate,
+    nor_gate,
+    pass_chain,
+    precharged_bus,
+    ripple_carry_adder,
+    shift_register,
+    xor_gate,
+)
+from repro.errors import NetlistError
+from repro.netlist import Network, decompose_stages, validate_network
+from repro.switchlevel import Logic, SwitchSimulator, exhaustive_truth_table
+from repro.tech import CMOS3, NMOS4, DeviceKind
+
+BOTH = pytest.mark.parametrize("tech", [CMOS3, NMOS4], ids=["cmos", "nmos"])
+
+
+class TestGatesStructure:
+    def test_cmos_inverter_two_devices(self):
+        net = Network(CMOS3)
+        Gates(net).inverter("a", "y")
+        kinds = sorted(t.kind.value for t in net.transistors)
+        assert kinds == ["e", "p"]
+
+    def test_nmos_inverter_uses_depletion_load(self):
+        net = Network(NMOS4)
+        Gates(net).inverter("a", "y")
+        kinds = sorted(t.kind.value for t in net.transistors)
+        assert kinds == ["d", "e"]
+        load = next(t for t in net.transistors
+                    if t.kind is DeviceKind.NMOS_DEP)
+        assert load.is_load
+
+    def test_nand_series_stack_widened(self):
+        net = Network(CMOS3)
+        Gates(net).nand(["a", "b", "c"], "y")
+        nmos = [t for t in net.transistors
+                if t.kind is DeviceKind.NMOS_ENH]
+        inv = Network(CMOS3)
+        Gates(inv).inverter("a", "y")
+        inv_nmos = next(t for t in inv.transistors
+                        if t.kind is DeviceKind.NMOS_ENH)
+        assert all(t.width == pytest.approx(3 * inv_nmos.width)
+                   for t in nmos)
+
+    def test_nand_needs_two_inputs(self):
+        with pytest.raises(NetlistError):
+            Gates(Network(CMOS3)).nand(["a"], "y")
+
+    def test_transmission_gate_cmos_only(self):
+        with pytest.raises(NetlistError):
+            Gates(Network(NMOS4)).transmission_gate("s", "sn", "a", "b")
+
+    def test_bootstrap_nmos_only(self):
+        with pytest.raises(NetlistError):
+            Gates(Network(CMOS3)).bootstrap_driver("a", "y")
+
+    def test_depletion_load_nmos_only(self):
+        with pytest.raises(NetlistError):
+            Gates(Network(CMOS3)).depletion_load("y")
+
+    def test_internal_names_unique(self):
+        net = Network(CMOS3)
+        gates = Gates(net)
+        gates.xor("a", "b", "y")
+        gates.xor("a", "b", "z")
+        names = [n.name for n in net.nodes]
+        assert len(names) == len(set(names))
+
+    def test_fanout_inverters(self):
+        net = Network(CMOS3)
+        gates = Gates(net)
+        gates.inverter("a", "y")
+        outs = gates.fanout_inverters("y", 3)
+        assert len(outs) == 3
+        # Each CMOS fanout inverter hangs two gates on the node.
+        assert len(net.transistors_gated_by("y")) == 6
+
+    def test_bootstrap_has_floating_cap(self):
+        net = Network(NMOS4)
+        Gates(net).bootstrap_driver("a", "y")
+        assert len(net.capacitors) == 1
+
+
+class TestGeneratorsValidate:
+    """Every generated circuit passes netlist validation cleanly."""
+
+    @BOTH
+    @pytest.mark.parametrize("factory", [
+        lambda tech: inverter_chain(tech, 3, fanout=2),
+        lambda tech: nand_gate(tech, 3),
+        lambda tech: nor_gate(tech, 2),
+        lambda tech: pass_chain(tech, 4),
+        lambda tech: precharged_bus(tech, 2),
+        lambda tech: xor_gate(tech),
+        lambda tech: full_adder(tech),
+        lambda tech: mux_tree(tech, 2),
+        lambda tech: shift_register(tech, 2),
+    ])
+    def test_no_errors(self, tech, factory):
+        net = factory(tech)
+        errors = [d for d in validate_network(net)
+                  if d.severity.value == "error"]
+        assert errors == []
+
+    def test_bootstrap_validates(self):
+        errors = [d for d in validate_network(bootstrap_driver(NMOS4))
+                  if d.severity.value == "error"]
+        assert errors == []
+
+
+class TestGeneratorParameters:
+    def test_inverter_chain_size_validation(self):
+        with pytest.raises(NetlistError):
+            inverter_chain(CMOS3, 0)
+
+    def test_pass_chain_size_validation(self):
+        with pytest.raises(NetlistError):
+            pass_chain(CMOS3, 0)
+
+    def test_mux_tree_size_validation(self):
+        with pytest.raises(NetlistError):
+            mux_tree(CMOS3, 0)
+
+    def test_decoder_limits(self):
+        with pytest.raises(NetlistError):
+            decoder(CMOS3, 0)
+        with pytest.raises(NetlistError):
+            decoder(CMOS3, 9)
+
+    def test_adder_operand_range(self):
+        with pytest.raises(NetlistError):
+            adder_assignments(4, 16, 0)
+
+    def test_adder_input_names(self):
+        names = adder_input_names(2)
+        assert names == ["cin", "a0", "b0", "a1", "b1"]
+
+    def test_device_counts_scale(self):
+        small = len(ripple_carry_adder(CMOS3, 2).transistors)
+        large = len(ripple_carry_adder(CMOS3, 8).transistors)
+        assert large == pytest.approx(4 * small, rel=0.01)
+
+    def test_load_cap_applied(self):
+        net = inverter_chain(CMOS3, 1, load_cap=123e-15)
+        assert net.node("out").capacitance >= 123e-15
+
+
+class TestFunctional:
+    @BOTH
+    def test_nand_truth_table(self, tech):
+        rows = exhaustive_truth_table(nand_gate(tech, 2), ["a0", "a1"],
+                                      ["out"])
+        for bits, outs in rows:
+            expected = Logic.from_bool(not (bits[0] and bits[1]))
+            assert outs["out"] is expected
+
+    @BOTH
+    def test_nor_truth_table(self, tech):
+        rows = exhaustive_truth_table(nor_gate(tech, 2), ["a0", "a1"],
+                                      ["out"])
+        for bits, outs in rows:
+            expected = Logic.from_bool(not (bits[0] or bits[1]))
+            assert outs["out"] is expected
+
+    @BOTH
+    def test_full_adder_truth_table(self, tech):
+        rows = exhaustive_truth_table(full_adder(tech), ["a", "b", "cin"],
+                                      ["sum", "cout"])
+        for bits, outs in rows:
+            total = sum(bits)
+            assert outs["sum"] is Logic.from_bool(bool(total & 1))
+            assert outs["cout"] is Logic.from_bool(total >= 2)
+
+    def test_decoder_one_hot(self):
+        net = decoder(CMOS3, 2)
+        sim = SwitchSimulator(net)
+        for address in range(4):
+            values = sim.run(a0=address & 1, a1=(address >> 1) & 1)
+            active = [w for w in range(4)
+                      if values[f"y{w}"] is Logic.ONE]
+            assert active == [address]
+
+    def test_decoder_output_names(self):
+        assert decoder_output_names(2) == ["y0", "y1", "y2", "y3"]
+
+    def test_bootstrap_logic_behaviour(self):
+        sim = SwitchSimulator(bootstrap_driver(NMOS4))
+        values = sim.run(**{"in": 1})
+        assert values["out"] is Logic.ZERO
+        values = sim.run(**{"in": 0})
+        assert values["out"] is Logic.ONE
+
+    @settings(max_examples=15, deadline=None)
+    @given(a=st.integers(0, 15), b=st.integers(0, 15), cin=st.integers(0, 1))
+    def test_four_bit_adder_nmos(self, a, b, cin):
+        net = ripple_carry_adder(NMOS4, 4)
+        sim = SwitchSimulator(net)
+        values = sim.run(**adder_assignments(4, a, b, cin))
+        assert adder_result(values, 4) == a + b + cin
+
+    def test_adder_result_rejects_x(self):
+        net = ripple_carry_adder(CMOS3, 2)
+        sim = SwitchSimulator(net)
+        sim.settle()  # no inputs set: everything X
+        with pytest.raises(NetlistError):
+            adder_result(sim.values(), 2)
+
+
+class TestStageStructure:
+    def test_inverter_chain_one_stage_per_inverter(self):
+        net = inverter_chain(CMOS3, 5)
+        assert len(decompose_stages(net)) == 5
+
+    def test_full_adder_stage_count_reasonable(self):
+        stages = decompose_stages(full_adder(CMOS3))
+        # 9 NAND-ish gates: one stage each.
+        assert 8 <= len(stages) <= 12

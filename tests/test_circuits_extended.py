@@ -1,0 +1,174 @@
+"""Tests for the extended circuit generators: carry-select adders, PLAs,
+gate-level muxes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Cube,
+    Gates,
+    PLASpec,
+    adder_assignments,
+    adder_input_names,
+    adder_result,
+    carry_select_adder,
+    pla,
+    ripple_carry_adder,
+    seven_segment_spec,
+)
+from repro.core.timing import TimingAnalyzer
+from repro.errors import NetlistError
+from repro.netlist import Network, validate_network
+from repro.switchlevel import Logic, SwitchSimulator, exhaustive_truth_table
+from repro.tech import CMOS3, NMOS4
+
+
+class TestGateMux:
+    @pytest.mark.parametrize("tech", [CMOS3, NMOS4], ids=["cmos", "nmos"])
+    def test_truth_table(self, tech):
+        net = Network(tech)
+        Gates(net).gate_mux2("sel", "a", "b", "y")
+        net.mark_input("sel", "a", "b")
+        rows = exhaustive_truth_table(net, ["sel", "a", "b"], ["y"])
+        for (sel, a, b), outs in rows:
+            expected = a if sel else b
+            assert outs["y"] is Logic.from_bool(bool(expected)), (sel, a, b)
+
+
+class TestCarrySelectAdder:
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            carry_select_adder(CMOS3, 0)
+        with pytest.raises(NetlistError):
+            carry_select_adder(CMOS3, 8, block=0)
+
+    def test_ports_match_ripple(self):
+        csa = carry_select_adder(CMOS3, 6, block=2)
+        for name in adder_input_names(6):
+            assert csa.has_node(name)
+        for bit in range(6):
+            assert csa.has_node(f"s{bit}")
+        assert csa.has_node("cout")
+
+    def test_validates_clean(self):
+        errors = [d for d in validate_network(
+            carry_select_adder(CMOS3, 4, block=2))
+            if d.severity.value == "error"]
+        assert errors == []
+
+    @settings(max_examples=12, deadline=None)
+    @given(a=st.integers(0, 63), b=st.integers(0, 63), cin=st.integers(0, 1))
+    def test_functional_random(self, a, b, cin):
+        net = carry_select_adder(CMOS3, 6, block=2)
+        sim = SwitchSimulator(net)
+        values = sim.run(**adder_assignments(6, a, b, cin))
+        assert adder_result(values, 6) == a + b + cin
+
+    def test_odd_tail_block(self):
+        """Width not divisible by the block size still adds correctly."""
+        net = carry_select_adder(CMOS3, 5, block=3)
+        sim = SwitchSimulator(net)
+        values = sim.run(**adder_assignments(5, 21, 9, 1))
+        assert adder_result(values, 5) == 31
+
+    def test_faster_than_ripple_at_width(self):
+        """The architectural point: shorter critical path, more devices."""
+        bits = 16
+        inputs = {n: 0.0 for n in adder_input_names(bits)}
+        outputs = [f"s{bits - 1}", "cout"]
+        ripple = ripple_carry_adder(CMOS3, bits)
+        select = carry_select_adder(CMOS3, bits, block=4)
+        t_ripple = TimingAnalyzer(ripple).analyze(inputs).worst(
+            outputs)[1].time
+        t_select = TimingAnalyzer(select).analyze(inputs).worst(
+            outputs)[1].time
+        assert t_select < t_ripple
+        assert len(select.transistors) > len(ripple.transistors)
+
+
+class TestPLASpec:
+    def test_validation_catches_bad_literal(self):
+        spec = PLASpec(num_inputs=2,
+                       cubes=[Cube.from_dict({5: True})],
+                       outputs=[(0,)])
+        with pytest.raises(NetlistError):
+            spec.validate()
+
+    def test_validation_catches_bad_output(self):
+        spec = PLASpec(num_inputs=2,
+                       cubes=[Cube.from_dict({0: True})],
+                       outputs=[(3,)])
+        with pytest.raises(NetlistError):
+            spec.validate()
+
+    def test_needs_cubes_and_outputs(self):
+        with pytest.raises(NetlistError):
+            PLASpec(num_inputs=1, cubes=[], outputs=[(0,)]).validate()
+
+    def test_cube_evaluation(self):
+        cube = Cube.from_dict({0: True, 2: False})
+        assert cube.evaluate([1, 0, 0])
+        assert cube.evaluate([1, 1, 0])  # input 1 is don't-care
+        assert not cube.evaluate([0, 0, 0])
+        assert not cube.evaluate([1, 0, 1])
+
+    def test_from_truth_table(self):
+        spec = PLASpec.from_truth_table(2, {0: [0], 3: [0, 1]})
+        assert spec.evaluate([0, 0]) == [True, False]
+        assert spec.evaluate([1, 1]) == [True, True]
+        assert spec.evaluate([1, 0]) == [False, False]
+
+    def test_minterm_range_checked(self):
+        with pytest.raises(NetlistError):
+            PLASpec.from_truth_table(2, {4: [0]})
+
+
+class TestPLAHardware:
+    @pytest.mark.parametrize("tech", [CMOS3, NMOS4], ids=["cmos", "nmos"])
+    def test_xor_pla_matches_spec(self, tech):
+        spec = PLASpec.from_truth_table(2, {1: [0], 2: [0]})  # XOR
+        net = pla(tech, spec)
+        sim = SwitchSimulator(net)
+        for pattern in range(4):
+            bits = [(pattern >> i) & 1 for i in range(2)]
+            values = sim.run(i0=bits[0], i1=bits[1])
+            expected = spec.evaluate(bits)[0]
+            assert values["o0"] is Logic.from_bool(expected), bits
+
+    def test_dont_care_cube(self):
+        # f = i0 (i1 is a don't-care): one single-literal product.
+        spec = PLASpec(num_inputs=2,
+                       cubes=[Cube.from_dict({0: True})],
+                       outputs=[(0,)])
+        net = pla(CMOS3, spec)
+        sim = SwitchSimulator(net)
+        assert sim.run(i0=1, i1=0)["o0"] is Logic.ONE
+        assert sim.run(i0=0, i1=1)["o0"] is Logic.ZERO
+
+    def test_seven_segment_digit_patterns(self):
+        spec = seven_segment_spec()
+        net = pla(CMOS3, spec)
+        sim = SwitchSimulator(net)
+        # Digit 1 lights exactly segments b and c (outputs 1 and 2).
+        bits = {f"i{k}": (1 >> k) & 1 for k in range(4)}
+        values = sim.run(**bits)
+        lit = [k for k in range(7) if values[f"o{k}"] is Logic.ONE]
+        assert lit == [1, 2]
+        # Digit 8 lights everything.
+        bits = {f"i{k}": (8 >> k) & 1 for k in range(4)}
+        values = sim.run(**bits)
+        assert all(values[f"o{k}"] is Logic.ONE for k in range(7))
+
+    def test_pla_validates_clean(self):
+        net = pla(NMOS4, seven_segment_spec())
+        errors = [d for d in validate_network(net)
+                  if d.severity.value == "error"]
+        assert errors == []
+
+    def test_pla_timing_analyzes(self):
+        net = pla(CMOS3, seven_segment_spec())
+        result = TimingAnalyzer(net).analyze(
+            {f"i{k}": 0.0 for k in range(4)})
+        worst = result.worst([f"o{k}" for k in range(7)])[1]
+        assert worst.time > 0

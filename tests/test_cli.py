@@ -1,0 +1,194 @@
+"""Tests for the repro-crystal command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_set, _parse_timing_input, main
+from repro.errors import ReproError
+
+INVERTER_SIM = """\
+| cmos inverter chain
+i in
+n in gnd n1 2 6
+p in vdd n1 2 12
+n n1 gnd out 2 6
+p n1 vdd out 2 12
+C out gnd 50
+"""
+
+NMOS_SIM = """\
+i a
+e a gnd y 2 8
+d y y vdd 8 2
+"""
+
+BAD_SIM = """\
+e floatgate gnd y 2 8
+d y y vdd 8 2
+"""
+
+
+@pytest.fixture
+def inv_file(tmp_path):
+    path = tmp_path / "inv.sim"
+    path.write_text(INVERTER_SIM)
+    return str(path)
+
+
+@pytest.fixture
+def nmos_file(tmp_path):
+    path = tmp_path / "nmos.sim"
+    path.write_text(NMOS_SIM)
+    return str(path)
+
+
+class TestParsing:
+    def test_input_both_edges(self):
+        name, spec = _parse_timing_input("in=2n")
+        assert name == "in"
+        assert spec.arrival_rise == pytest.approx(2e-9)
+        assert spec.arrival_fall == pytest.approx(2e-9)
+
+    def test_input_rise_only(self):
+        _, spec = _parse_timing_input("in=500p:rise")
+        assert spec.arrival_rise == pytest.approx(500e-12)
+        assert spec.arrival_fall is None
+
+    def test_input_fall_only(self):
+        _, spec = _parse_timing_input("in=0:fall")
+        assert spec.arrival_rise is None
+        assert spec.arrival_fall == 0.0
+
+    def test_input_static(self):
+        _, spec = _parse_timing_input("en=-")
+        assert spec.arrival_rise is None and spec.arrival_fall is None
+
+    def test_input_bad_edge(self):
+        with pytest.raises(ReproError):
+            _parse_timing_input("in=0:sideways")
+
+    def test_input_missing_equals(self):
+        with pytest.raises(ReproError):
+            _parse_timing_input("in")
+
+    def test_set_values(self):
+        assert _parse_set("a=1")[1].value == 1
+        assert _parse_set("a=0")[1].value == 0
+        assert _parse_set("a=x")[1].value == 2
+
+    def test_set_bad_value(self):
+        with pytest.raises(ReproError):
+            _parse_set("a=maybe")
+
+
+class TestValidateCommand:
+    def test_clean_netlist(self, inv_file, capsys):
+        code = main(["validate", inv_file, "--tech", "cmos3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "validation: clean" in out
+
+    def test_bad_netlist_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.sim"
+        path.write_text(BAD_SIM)
+        code = main(["validate", str(path), "--tech", "nmos4"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "floating-gate" in out
+
+    def test_unknown_tech(self, inv_file, capsys):
+        code = main(["validate", inv_file, "--tech", "cmos3"])
+        assert code == 0
+        # argparse rejects unknown technologies before our code runs.
+        with pytest.raises(SystemExit):
+            main(["validate", inv_file, "--tech", "gaas"])
+
+
+class TestSwitchCommand:
+    def test_inverter_chain(self, inv_file, capsys):
+        code = main(["switch", inv_file, "--tech", "cmos3",
+                     "--set", "in=1", "--show", "out", "--show", "n1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "out = 1" in out
+        assert "n1 = 0" in out
+
+    def test_default_shows_all(self, nmos_file, capsys):
+        code = main(["switch", nmos_file, "--tech", "nmos4",
+                     "--set", "a=0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "y = 1" in out
+
+
+class TestTimingCommand:
+    def test_worst_paths_default(self, inv_file, capsys):
+        code = main(["timing", inv_file, "--tech", "cmos3",
+                     "--input", "in=0", "--no-characterize"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "worst arrivals" in out
+        assert "out" in out
+
+    def test_critical_path_report(self, inv_file, capsys):
+        code = main(["timing", inv_file, "--tech", "cmos3",
+                     "--input", "in=0:rise", "--report", "out",
+                     "--no-characterize", "--slope", "500p"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "critical path to out" in out
+        assert "path delay" in out
+
+    def test_model_selection(self, inv_file, capsys):
+        code = main(["timing", inv_file, "--tech", "cmos3",
+                     "--input", "in=0", "--model", "lumped-rc",
+                     "--no-characterize"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lumped-rc" in out
+
+    def test_missing_input_is_error(self, inv_file, capsys):
+        code = main(["timing", inv_file, "--tech", "cmos3",
+                     "--no-characterize"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+
+class TestHazardsCommand:
+    def test_clean_circuit(self, inv_file, capsys):
+        code = main(["hazards", inv_file, "--tech", "cmos3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no hazards" in out
+
+    def test_hazard_with_strict_exit(self, tmp_path, capsys):
+        sim = (
+            "i sel wr pre din drv\n"
+            "e sel store bigbus 2 4\n"
+            "e wr din store 2 4\n"
+            "e pre drv bigbus 2 4\n"
+            "C store gnd 10\n"
+            "C bigbus gnd 100\n"
+        )
+        path = tmp_path / "share.sim"
+        path.write_text(sim)
+        code = main(["hazards", str(path), "--tech", "cmos3",
+                     "--set", "wr=0", "--set", "pre=0", "--strict"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "store" in out
+
+
+class TestCharacterizeCommand:
+    def test_dump_tables(self, tmp_path, capsys):
+        out_file = tmp_path / "tables.json"
+        code = main(["characterize", "--tech", "cmos3",
+                     "-o", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "slope tables" in out
+        data = json.loads(out_file.read_text())
+        assert "tables" in data
+        assert data["source"] == "characterized:cmos3"

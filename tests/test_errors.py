@@ -1,0 +1,65 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ConvergenceError,
+    MeasurementError,
+    NetlistError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    TechnologyError,
+    TimingError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        NetlistError, ParseError, ValidationError, TechnologyError,
+        AnalysisError, ConvergenceError, SimulationError, TimingError,
+        MeasurementError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_parse_is_netlist(self):
+        assert issubclass(ParseError, NetlistError)
+
+    def test_validation_is_netlist(self):
+        assert issubclass(ValidationError, NetlistError)
+
+    def test_convergence_is_analysis(self):
+        assert issubclass(ConvergenceError, AnalysisError)
+
+    def test_timing_is_analysis(self):
+        assert issubclass(TimingError, AnalysisError)
+
+    def test_catching_base_catches_everything(self):
+        for exc_type in (ParseError, ConvergenceError, TimingError):
+            with pytest.raises(ReproError):
+                raise exc_type("boom")
+
+
+class TestMessages:
+    def test_parse_error_location(self):
+        error = ParseError("bad token", filename="x.sim", line=42)
+        assert "x.sim:42" in str(error)
+        assert error.line == 42
+        assert error.filename == "x.sim"
+
+    def test_parse_error_without_location(self):
+        error = ParseError("bad token")
+        assert str(error) == "bad token"
+
+    def test_convergence_error_time(self):
+        error = ConvergenceError("stuck", time=1.5e-9)
+        assert "1.5e-09" in str(error)
+        assert error.time == 1.5e-9
+
+    def test_convergence_error_without_time(self):
+        error = ConvergenceError("stuck")
+        assert str(error) == "stuck"
+        assert error.time is None

@@ -1,0 +1,84 @@
+"""Smoke tests: every shipped example must run end to end.
+
+These import each example module and call its ``main()`` (with small
+arguments where supported), asserting on the key lines of its output —
+so the examples directory can never silently rot.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_main(name, argv, capsys):
+    module = load_example(name)
+    old_argv = sys.argv
+    sys.argv = [f"{name}.py"] + argv
+    try:
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_main("quickstart", [], capsys)
+        assert "model estimates" in out
+        assert "critical path to out" in out
+        assert "reference" in out
+
+    def test_switch_level_sim(self, capsys):
+        out = run_main("switch_level_sim", [], capsys)
+        assert "precharge phase (phi=1):         bus=1" in out
+        assert "driver 0 discharges the bus:     bus=0" in out
+        assert "after shifting in" in out
+
+    def test_timing_report_adder(self, capsys):
+        out = run_main("timing_report_adder", ["2"], capsys)
+        assert "worst arrivals" in out
+        assert "critical path" in out
+        assert "carry-chain arrivals" in out
+
+    def test_clocked_pipeline(self, capsys):
+        out = run_main("clocked_pipeline", [], capsys)
+        assert "setup checks" in out
+        assert "0 violation(s)" in out
+        assert "minimum passing period" in out
+        assert "no hazards" in out
+
+    def test_characterize_tech(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        out = run_main("characterize_tech", ["cmos", str(out_file)], capsys)
+        assert "slope tables" in out
+        assert "reload check" in out
+        assert out_file.exists()
+
+    @pytest.mark.slow
+    def test_compare_models(self, capsys):
+        out = run_main("compare_models", ["cmos"], capsys)
+        assert "CMOS test circuits" in out
+        assert "error summary" in out
+        assert "slope" in out
+
+    def test_compare_models_rejects_bad_argument(self, capsys):
+        module = load_example("compare_models")
+        old_argv = sys.argv
+        sys.argv = ["compare_models.py", "bipolar"]
+        try:
+            with pytest.raises(SystemExit):
+                module.main()
+        finally:
+            sys.argv = old_argv

@@ -1,0 +1,133 @@
+"""End-to-end integration tests across all subsystems.
+
+These are the "does the whole reproduction hang together" checks: netlist
+file → switch-level states → timing analysis → analog cross-validation.
+"""
+
+import pytest
+
+from repro import (
+    CMOS3,
+    NMOS4,
+    LumpedRCModel,
+    SlopeModel,
+    Transition,
+    analyze,
+    delay_between,
+    simulate,
+)
+from repro.analog import sources
+from repro.circuits import inverter_chain, pass_chain
+from repro.core.timing import InputSpec, TimingAnalyzer
+from repro.netlist import sim_format
+from repro.switchlevel import Logic, SwitchSimulator
+
+
+class TestSimFileToTiming:
+    SIM_TEXT = """\
+| two-inverter chain, nmos4
+i in
+e in gnd n1 2 8
+d n1 n1 vdd 8 2
+e n1 gnd out 2 8
+d out out vdd 8 2
+C out gnd 50
+"""
+
+    def test_parse_simulate_analyze(self):
+        net = sim_format.loads(self.SIM_TEXT, NMOS4)
+        # Switch-level functional check.
+        sim = SwitchSimulator(net)
+        assert sim.run(**{"in": 1})["out"] is Logic.ONE
+        # Timing analysis on the parsed netlist.
+        result = analyze(net, {"in": 0.0})
+        assert result.arrival("out", Transition.RISE).time > 0
+        # Analog simulation of the same object.
+        analog = simulate(net, {"in": sources.step_up(5.0, at=1e-9)},
+                          t_stop=80e-9, steps=1500)
+        assert analog.waveform("out").final_value() > 4.0
+
+
+class TestModelVersusAnalog:
+    def test_slope_model_tracks_reference_cmos(self, cmos_char):
+        """The headline claim on a fresh circuit (not a fixture)."""
+        net = inverter_chain(cmos_char, 3, fanout=2)
+        t_in = 0.5e-9
+        analog = simulate(
+            net, {"in": sources.edge(5.0, rising=True, at=2e-9,
+                                     transition_time=t_in)},
+            t_stop=40e-9, steps=2500)
+        reference = delay_between(analog.waveform("in"),
+                                  analog.waveform("out"), 5.0,
+                                  Transition.RISE, Transition.FALL)
+        result = analyze(net, {"in": InputSpec(arrival_rise=0.0,
+                                               arrival_fall=None,
+                                               slope=t_in)},
+                         model=SlopeModel())
+        estimate = result.arrival("out", Transition.FALL).time
+        assert estimate == pytest.approx(reference, rel=0.15)
+
+    def test_lumped_model_worse_than_slope(self, cmos_char):
+        net = inverter_chain(cmos_char, 4)
+        analog = simulate(
+            net, {"in": sources.edge(5.0, rising=True, at=2e-9,
+                                     transition_time=0.3e-9)},
+            t_stop=40e-9, steps=2500)
+        reference = delay_between(analog.waveform("in"),
+                                  analog.waveform("out"), 5.0,
+                                  Transition.RISE, Transition.RISE)
+        spec = {"in": InputSpec(arrival_rise=0.0, arrival_fall=None,
+                                slope=0.3e-9)}
+        slope_err = abs(analyze(net, spec, model=SlopeModel())
+                        .arrival("out", Transition.RISE).time - reference)
+        lumped_err = abs(analyze(net, spec, model=LumpedRCModel())
+                         .arrival("out", Transition.RISE).time - reference)
+        assert slope_err < lumped_err
+
+    def test_pass_chain_nmos(self, nmos_char):
+        net = pass_chain(nmos_char, 3)
+        analog = simulate(
+            net, {"in": sources.edge(5.0, rising=False, at=2e-9,
+                                     transition_time=1e-9),
+                  "en": 5.0},
+            t_stop=300e-9, steps=3000)
+        reference = delay_between(analog.waveform("in"),
+                                  analog.waveform("out"), 5.0,
+                                  Transition.FALL, Transition.RISE)
+        result = analyze(
+            net,
+            {"in": InputSpec(arrival_rise=None, arrival_fall=0.0,
+                             slope=1e-9),
+             "en": InputSpec(arrival_rise=None, arrival_fall=None)},
+            model=SlopeModel())
+        estimate = result.arrival("out", Transition.RISE).time
+        assert estimate == pytest.approx(reference, rel=0.35)
+
+
+class TestSwitchStatesFeedTiming:
+    def test_simulator_states_prune_analysis(self):
+        from repro.circuits import nand_gate
+        net = nand_gate(CMOS3, 2)
+        sim = SwitchSimulator(net)
+        pre = dict(sim.run(a0=0, a1=1))
+        post = dict(sim.run(a0=1))
+        result = analyze(
+            net,
+            {"a0": InputSpec(arrival_rise=0.0, arrival_fall=None),
+             "a1": InputSpec(arrival_rise=None, arrival_fall=None)},
+            states=post, initial_states=pre)
+        assert result.arrival("out", Transition.FALL).time > 0
+        assert not result.has_arrival("out", Transition.RISE)
+
+
+class TestRoundTripConsistency:
+    def test_sim_round_trip_preserves_timing(self, cmos_char):
+        net = inverter_chain(cmos_char, 3)
+        text = sim_format.dumps(net)
+        clone = sim_format.loads(text, cmos_char)
+        clone.mark_input("in")
+        original = analyze(net, {"in": 0.0}).arrival(
+            "out", Transition.RISE).time
+        reparsed = analyze(clone, {"in": 0.0}).arrival(
+            "out", Transition.RISE).time
+        assert reparsed == pytest.approx(original, rel=1e-6)

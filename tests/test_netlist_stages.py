@@ -1,0 +1,147 @@
+"""Tests for channel-connected-region (stage) decomposition."""
+
+import pytest
+
+from repro.circuits import Gates, inverter_chain, pass_chain
+from repro.errors import NetlistError
+from repro.netlist import GND, VDD, Network, StageMap, decompose_stages, stage_of
+from repro.tech import CMOS3, NMOS4, DeviceKind
+
+
+class TestBasicDecomposition:
+    def test_single_inverter_is_one_stage(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y")
+        net.add_transistor(DeviceKind.PMOS, "a", "vdd", "y")
+        stages = decompose_stages(net)
+        assert len(stages) == 1
+        assert stages[0].internal_nodes == frozenset({"y"})
+        assert stages[0].boundary_nodes == frozenset({VDD, GND})
+        assert stages[0].gate_inputs == frozenset({"a"})
+
+    def test_inverter_chain_stage_per_gate(self):
+        net = inverter_chain(CMOS3, 4)
+        stages = decompose_stages(net)
+        assert len(stages) == 4
+        internals = sorted(
+            node for stage in stages for node in stage.internal_nodes)
+        assert internals == ["n1", "n2", "n3", "out"]
+
+    def test_nand_internal_node_shares_stage(self):
+        net = Network(CMOS3)
+        gates = Gates(net)
+        gates.nand(["a", "b"], "y")
+        stages = decompose_stages(net)
+        assert len(stages) == 1
+        assert "y" in stages[0].internal_nodes
+        assert len(stages[0].internal_nodes) == 2  # y + series node
+
+    def test_pass_chain_merges_driver_and_chain(self):
+        """The driver inverter and pass devices are channel-connected:
+        one big stage."""
+        net = pass_chain(CMOS3, 4)
+        stages = decompose_stages(net)
+        assert len(stages) == 1
+        assert {"drv", "p1", "p2", "p3", "out"} <= stages[0].internal_nodes
+
+    def test_inputs_are_boundaries(self):
+        """A pass device bridging two marked inputs forms a degenerate
+        stage with no internal nodes."""
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "en", "a", "b")
+        net.mark_input("a", "b")
+        stages = decompose_stages(net)
+        assert len(stages) == 1
+        assert stages[0].internal_nodes == frozenset()
+        assert stages[0].boundary_nodes == frozenset({"a", "b"})
+
+    def test_input_separates_regions(self):
+        """Two structures joined only through a driven input stay separate
+        stages."""
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "g1", "x", "mid")
+        net.add_transistor(DeviceKind.NMOS_ENH, "g2", "mid", "y")
+        net.mark_input("mid")
+        stages = decompose_stages(net)
+        assert len(stages) == 2
+        internals = {frozenset(s.internal_nodes) for s in stages}
+        assert internals == {frozenset({"x"}), frozenset({"y"})}
+
+    def test_resistors_merge_regions(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "x")
+        net.add_resistor("x", "y", 1e3)
+        net.add_capacitor("y", "gnd", 1e-15)
+        stages = decompose_stages(net)
+        assert len(stages) == 1
+        assert stages[0].internal_nodes == frozenset({"x", "y"})
+        assert len(stages[0].resistors) == 1
+
+    def test_gate_only_net_not_a_stage(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y")
+        stages = decompose_stages(net)
+        assert all("a" not in s.internal_nodes for s in stages)
+
+
+class TestStageProperties:
+    def test_self_loop_flag(self):
+        """nMOS depletion load: the output gates its own load."""
+        net = Network(NMOS4)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y")
+        net.add_transistor(DeviceKind.NMOS_DEP, "y", "y", "vdd")
+        stage = decompose_stages(net)[0]
+        assert stage.self_loop
+
+    def test_no_self_loop_for_cmos_inverter(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y")
+        net.add_transistor(DeviceKind.PMOS, "a", "vdd", "y")
+        assert not decompose_stages(net)[0].self_loop
+
+    def test_all_nodes_union(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y")
+        stage = decompose_stages(net)[0]
+        assert stage.all_nodes == frozenset({"y", GND})
+
+    def test_deterministic_indexing(self):
+        net = inverter_chain(CMOS3, 3)
+        first = [s.internal_nodes for s in decompose_stages(net)]
+        second = [s.internal_nodes for s in decompose_stages(net)]
+        assert first == second
+
+
+class TestStageLookup:
+    def test_stage_of_finds(self):
+        net = inverter_chain(CMOS3, 2)
+        stages = decompose_stages(net)
+        assert stage_of(stages, "n1").contains("n1")
+
+    def test_stage_of_unknown_raises(self):
+        net = inverter_chain(CMOS3, 2)
+        stages = decompose_stages(net)
+        with pytest.raises(NetlistError):
+            stage_of(stages, "in")  # an input is not internal to any stage
+
+    def test_stage_map(self):
+        net = inverter_chain(CMOS3, 3)
+        stage_map = StageMap.build(net)
+        assert stage_map.get("out").contains("out")
+        assert stage_map.maybe("in") is None
+        with pytest.raises(NetlistError):
+            stage_map.get("in")
+
+    def test_every_internal_node_in_exactly_one_stage(self):
+        net = pass_chain(NMOS4, 5)
+        stages = decompose_stages(net)
+        counted = {}
+        for stage in stages:
+            for node in stage.internal_nodes:
+                counted[node] = counted.get(node, 0) + 1
+        assert all(count == 1 for count in counted.values())
+        driven = set(net.externally_driven())
+        channel_nodes = set()
+        for device in net.transistors:
+            channel_nodes.update(device.channel)
+        assert set(counted) == channel_nodes - driven

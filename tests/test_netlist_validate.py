@@ -1,0 +1,111 @@
+"""Tests for netlist validation diagnostics."""
+
+import pytest
+
+from repro.circuits import inverter_chain
+from repro.errors import ValidationError
+from repro.netlist import Network, Severity, validate_network, validate_strict
+from repro.tech import CMOS3, NMOS4, DeviceKind
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+class TestCleanNetworks:
+    def test_inverter_chain_clean(self):
+        net = inverter_chain(CMOS3, 3)
+        assert validate_network(net) == []
+
+    def test_strict_passes_clean(self):
+        validate_strict(inverter_chain(NMOS4, 2))
+
+
+class TestFloatingGate:
+    def test_detected(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "floatg", "gnd", "y")
+        findings = validate_network(net)
+        assert "floating-gate" in codes(findings)
+
+    def test_input_gate_ok(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y")
+        net.mark_input("a")
+        assert "floating-gate" not in codes(validate_network(net))
+
+    def test_stage_driven_gate_ok(self):
+        net = inverter_chain(CMOS3, 2)
+        assert "floating-gate" not in codes(validate_network(net))
+
+    def test_strict_raises(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "floatg", "gnd", "y")
+        with pytest.raises(ValidationError):
+            validate_strict(net)
+
+
+class TestSupplyShort:
+    def test_depletion_chain_short(self):
+        net = Network(NMOS4)
+        net.add_transistor(DeviceKind.NMOS_DEP, "x", "x", "vdd")
+        net.add_resistor("x", "gnd", 1e3)
+        assert "supply-short" in codes(validate_network(net))
+
+    def test_resistor_divider_short(self):
+        net = Network(CMOS3)
+        net.add_resistor("vdd", "mid", 1e3)
+        net.add_resistor("mid", "gnd", 1e3)
+        assert "supply-short" in codes(validate_network(net))
+
+    def test_gated_path_not_a_short(self):
+        """A normal inverter bridges the rails only when gated — fine."""
+        net = inverter_chain(NMOS4, 1)
+        assert "supply-short" not in codes(validate_network(net))
+
+
+class TestWarnings:
+    def test_undriven_stage(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "g", "x", "y")
+        net.mark_input("g")
+        findings = validate_network(net)
+        assert "undriven-stage" in codes(findings)
+        finding = next(f for f in findings if f.code == "undriven-stage")
+        assert finding.severity is Severity.WARNING
+
+    def test_depletion_switch_warning(self):
+        net = Network(NMOS4)
+        net.add_transistor(DeviceKind.NMOS_DEP, "clk", "a", "b")
+        net.mark_input("clk", "a", "b")
+        assert "depletion-switch" in codes(validate_network(net))
+
+    def test_isolated_node_warning(self):
+        net = Network(CMOS3)
+        net.add_node("orphan")
+        assert "isolated-node" in codes(validate_network(net))
+
+    def test_isolated_node_with_cap_ok(self):
+        net = Network(CMOS3)
+        net.add_node("wire", capacitance=1e-15)
+        assert "isolated-node" not in codes(validate_network(net))
+
+    def test_warnings_do_not_fail_strict(self):
+        net = Network(CMOS3)
+        net.add_node("orphan")
+        validate_strict(net)  # warnings only
+
+
+class TestOrdering:
+    def test_errors_sorted_first(self):
+        net = Network(NMOS4)
+        net.add_node("orphan")  # warning
+        net.add_transistor(DeviceKind.NMOS_ENH, "floatg", "gnd", "y")  # error
+        findings = validate_network(net)
+        assert findings[0].severity is Severity.ERROR
+
+    def test_diagnostic_str(self):
+        net = Network(CMOS3)
+        net.add_node("orphan")
+        text = str(validate_network(net)[0])
+        assert "isolated-node" in text and "warning" in text

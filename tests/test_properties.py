@@ -1,0 +1,194 @@
+"""Cross-module property tests on randomized circuits.
+
+These check the invariants the whole reproduction leans on:
+
+* stage decomposition partitions the channel-connected signal nodes;
+* the switch-level simulator agrees with gate-level boolean semantics on
+  randomly generated gate DAGs;
+* the timing analyzer's arrivals are causally consistent and respect
+  model orderings on random gate DAGs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Gates
+from repro.core.models import LumpedRCModel, RCTreeModel, SlopeModel
+from repro.core.timing import TimingAnalyzer
+from repro.netlist import Network, decompose_stages
+from repro.switchlevel import Logic, SwitchSimulator
+from repro.tech import CMOS3, NMOS4, Transition
+
+#: A random gate DAG recipe: each entry adds one gate whose inputs are
+#: drawn from the already-available signals.
+GATE_KINDS = ("inv", "nand", "nor", "xor")
+
+gate_recipe = st.lists(
+    st.tuples(st.sampled_from(GATE_KINDS), st.integers(0, 10 ** 6),
+              st.integers(0, 10 ** 6)),
+    min_size=1, max_size=7)
+
+
+def build_dag(tech, recipe, num_inputs=3):
+    """Deterministically build a gate DAG from a recipe; returns
+    (network, evaluator) where evaluator maps input bits to expected
+    boolean node values."""
+    net = Network(tech)
+    gates = Gates(net)
+    signals = [f"x{i}" for i in range(num_inputs)]
+    for node in signals:
+        net.add_node(node)
+    functions = {node: None for node in signals}  # None = primary input
+
+    for index, (kind, pick_a, pick_b) in enumerate(recipe):
+        a = signals[pick_a % len(signals)]
+        b = signals[pick_b % len(signals)]
+        out = f"g{index}"
+        if kind == "inv":
+            gates.inverter(a, out)
+            functions[out] = ("inv", a)
+        elif kind == "nand":
+            if a == b:
+                b = signals[(pick_b + 1) % len(signals)]
+            if a == b:
+                gates.inverter(a, out)
+                functions[out] = ("inv", a)
+            else:
+                gates.nand([a, b], out)
+                functions[out] = ("nand", a, b)
+        elif kind == "nor":
+            if a == b:
+                b = signals[(pick_b + 1) % len(signals)]
+            if a == b:
+                gates.inverter(a, out)
+                functions[out] = ("inv", a)
+            else:
+                gates.nor([a, b], out)
+                functions[out] = ("nor", a, b)
+        else:  # xor
+            if a == b:
+                b = signals[(pick_b + 1) % len(signals)]
+            if a == b:
+                gates.inverter(a, out)
+                functions[out] = ("inv", a)
+            else:
+                gates.xor(a, b, out)
+                functions[out] = ("xor", a, b)
+        signals.append(out)
+
+    inputs = [f"x{i}" for i in range(num_inputs)]
+    net.mark_input(*inputs)
+
+    def evaluate(bits):
+        values = {f"x{i}": bool(bits[i]) for i in range(num_inputs)}
+        for node, func in functions.items():
+            if func is None:
+                continue
+            if func[0] == "inv":
+                values[node] = not values[func[1]]
+            elif func[0] == "nand":
+                values[node] = not (values[func[1]] and values[func[2]])
+            elif func[0] == "nor":
+                values[node] = not (values[func[1]] or values[func[2]])
+            else:
+                values[node] = values[func[1]] ^ values[func[2]]
+        return values
+
+    return net, inputs, list(functions), evaluate
+
+
+class TestStagePartition:
+    @settings(max_examples=25, deadline=None)
+    @given(recipe=gate_recipe)
+    def test_stages_partition_channel_nodes(self, recipe):
+        net, _, _, _ = build_dag(CMOS3, recipe)
+        stages = decompose_stages(net)
+        driven = set(net.externally_driven())
+        channel_nodes = set()
+        for device in net.transistors:
+            channel_nodes.update(device.channel)
+        counted = {}
+        for stage in stages:
+            for node in stage.internal_nodes:
+                counted[node] = counted.get(node, 0) + 1
+        assert set(counted) == channel_nodes - driven
+        assert all(v == 1 for v in counted.values())
+
+    @settings(max_examples=25, deadline=None)
+    @given(recipe=gate_recipe)
+    def test_gate_inputs_never_internal_elsewhere(self, recipe):
+        """A stage's gate inputs are either inputs or internal to exactly
+        one (possibly the same) stage — the stage-graph precondition."""
+        net, _, _, _ = build_dag(CMOS3, recipe)
+        stages = decompose_stages(net)
+        owner = {}
+        for stage in stages:
+            for node in stage.internal_nodes:
+                owner[node] = stage.index
+        for stage in stages:
+            for gate in stage.gate_inputs:
+                node = net.node(gate)
+                assert node.is_driven_externally or gate in owner
+
+
+class TestSwitchLevelAgainstBoolean:
+    @settings(max_examples=20, deadline=None)
+    @given(recipe=gate_recipe, bits=st.tuples(
+        st.integers(0, 1), st.integers(0, 1), st.integers(0, 1)))
+    def test_cmos_dag_matches_semantics(self, recipe, bits):
+        net, inputs, nodes, evaluate = build_dag(CMOS3, recipe)
+        sim = SwitchSimulator(net)
+        for name, bit in zip(inputs, bits):
+            sim.set_input(name, bit)
+        sim.settle()
+        expected = evaluate(bits)
+        for node in nodes:
+            if node in inputs:
+                continue
+            assert sim.value(node) is Logic.from_bool(expected[node]), node
+
+    @settings(max_examples=10, deadline=None)
+    @given(recipe=gate_recipe, bits=st.tuples(
+        st.integers(0, 1), st.integers(0, 1), st.integers(0, 1)))
+    def test_nmos_dag_matches_semantics(self, recipe, bits):
+        net, inputs, nodes, evaluate = build_dag(NMOS4, recipe)
+        sim = SwitchSimulator(net)
+        for name, bit in zip(inputs, bits):
+            sim.set_input(name, bit)
+        sim.settle()
+        expected = evaluate(bits)
+        for node in nodes:
+            if node in inputs:
+                continue
+            assert sim.value(node) is Logic.from_bool(expected[node]), node
+
+
+class TestTimingConsistency:
+    @settings(max_examples=15, deadline=None)
+    @given(recipe=gate_recipe)
+    def test_arrivals_causally_consistent(self, recipe):
+        net, inputs, nodes, _ = build_dag(CMOS3, recipe)
+        result = TimingAnalyzer(net).analyze({n: 0.0 for n in inputs})
+        for event, arrival in result.arrivals.items():
+            if arrival.is_primary:
+                assert arrival.time == 0.0
+                continue
+            upstream = result.arrivals[arrival.cause]
+            assert arrival.time >= upstream.time
+            assert arrival.stage_delay is not None
+            assert arrival.time == pytest.approx(
+                upstream.time + arrival.stage_delay.delay)
+
+    @settings(max_examples=10, deadline=None)
+    @given(recipe=gate_recipe)
+    def test_models_agree_on_reachability(self, recipe):
+        """All three models compute arrivals for exactly the same events
+        (they differ in numbers, never in structure)."""
+        net, inputs, _, _ = build_dag(CMOS3, recipe)
+        spec = {n: 0.0 for n in inputs}
+        events = []
+        for model in (LumpedRCModel(), RCTreeModel(), SlopeModel()):
+            result = TimingAnalyzer(net, model=model).analyze(spec)
+            events.append(set(result.arrivals))
+        assert events[0] == events[1] == events[2]

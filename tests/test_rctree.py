@@ -1,0 +1,249 @@
+"""Tests for the RC-tree structure, Elmore delay and exact responses."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.rctree import (
+    RCTree,
+    delay_bounds,
+    elmore_delay,
+    exact_delay,
+    lumped_time_constant,
+    step_response,
+    time_constants,
+)
+
+
+class TestTreeConstruction:
+    def test_chain_builder(self):
+        tree = RCTree.chain([1e3, 2e3], [1e-12, 2e-12])
+        assert tree.nodes == ["src", "n1", "n2"]
+        assert tree.path_resistance("n2") == pytest.approx(3e3)
+        assert tree.total_cap() == pytest.approx(3e-12)
+
+    def test_chain_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            RCTree.chain([1e3], [1e-12, 2e-12])
+
+    def test_add_edge_requires_parent(self):
+        tree = RCTree("root")
+        with pytest.raises(AnalysisError):
+            tree.add_edge("ghost", "child", 1e3)
+
+    def test_no_duplicate_nodes(self):
+        tree = RCTree("root")
+        tree.add_edge("root", "a", 1e3)
+        with pytest.raises(AnalysisError):
+            tree.add_edge("root", "a", 2e3)
+
+    def test_positive_resistance_required(self):
+        tree = RCTree("root")
+        with pytest.raises(AnalysisError):
+            tree.add_edge("root", "a", 0.0)
+
+    def test_cap_accumulates(self):
+        tree = RCTree("root")
+        tree.add_edge("root", "a", 1e3)
+        tree.add_cap("a", 1e-12)
+        tree.add_cap("a", 2e-12)
+        assert tree.cap("a") == pytest.approx(3e-12)
+
+    def test_negative_cap_rejected(self):
+        tree = RCTree("root")
+        tree.add_edge("root", "a", 1e3)
+        with pytest.raises(AnalysisError):
+            tree.add_cap("a", -1e-15)
+
+    def test_unknown_node_rejected(self):
+        tree = RCTree("root")
+        with pytest.raises(AnalysisError):
+            tree.add_cap("ghost", 1e-12)
+        with pytest.raises(AnalysisError):
+            tree.path_resistance("ghost")
+
+    def test_leaf(self):
+        tree = RCTree.chain([1.0, 1.0], [1.0, 1.0])
+        assert tree.leaf() == "n2"
+        with pytest.raises(AnalysisError):
+            RCTree("lonely").leaf()
+
+
+class TestSharedResistance:
+    def test_branched_tree(self):
+        #        root -1k- a -2k- b
+        #                   \-4k- c
+        tree = RCTree("root")
+        tree.add_edge("root", "a", 1e3)
+        tree.add_edge("a", "b", 2e3)
+        tree.add_edge("a", "c", 4e3)
+        assert tree.shared_resistance("b", "c") == pytest.approx(1e3)
+        assert tree.shared_resistance("b", "b") == pytest.approx(3e3)
+        assert tree.shared_resistance("c", "a") == pytest.approx(1e3)
+
+    def test_symmetry(self):
+        tree = RCTree("root")
+        tree.add_edge("root", "a", 1e3)
+        tree.add_edge("a", "b", 2e3)
+        tree.add_edge("root", "c", 5e3)
+        assert tree.shared_resistance("b", "c") == tree.shared_resistance(
+            "c", "b") == 0.0
+
+
+class TestElmore:
+    def test_single_pole(self):
+        tree = RCTree.chain([1e3], [1e-12])
+        assert elmore_delay(tree, "n1") == pytest.approx(1e-9)
+
+    def test_two_stage_hand_computed(self):
+        # T_D(n2) = R1*(C1+C2) + R2*C2
+        tree = RCTree.chain([1e3, 2e3], [1e-12, 3e-12])
+        expected = 1e3 * 4e-12 + 2e3 * 3e-12
+        assert elmore_delay(tree, "n2") == pytest.approx(expected)
+
+    def test_elmore_at_intermediate_node(self):
+        # T_D(n1) = R1*(C1+C2): downstream cap counts, downstream R not.
+        tree = RCTree.chain([1e3, 2e3], [1e-12, 3e-12])
+        assert elmore_delay(tree, "n1") == pytest.approx(1e3 * 4e-12)
+
+    def test_constants_ordering(self):
+        tree = RCTree.chain([1e3] * 6, [1e-12] * 6)
+        tc = time_constants(tree, "n6")
+        assert tc.t_r <= tc.t_d <= tc.t_p
+
+    def test_root_constants(self):
+        tree = RCTree.chain([1e3], [1e-12])
+        tc = time_constants(tree, "src")
+        assert tc.t_d == 0.0
+
+    def test_lumped_always_at_least_elmore(self):
+        tree = RCTree.chain([1e3] * 5, [1e-12] * 5)
+        assert lumped_time_constant(tree, "n5") >= elmore_delay(tree, "n5")
+
+    def test_uniform_ladder_closed_form(self):
+        """Uniform N-ladder Elmore: R*C*N*(N+1)/2."""
+        n, r, c = 7, 1e3, 1e-12
+        tree = RCTree.chain([r] * n, [c] * n)
+        assert elmore_delay(tree, f"n{n}") == pytest.approx(
+            r * c * n * (n + 1) / 2)
+
+
+class TestExactResponse:
+    def test_single_pole_analytic(self):
+        tree = RCTree.chain([1e3], [1e-12])
+        response = step_response(tree)
+        tau = 1e-9
+        for t_mult in (0.5, 1.0, 2.0):
+            expected = 1 - math.exp(-t_mult)
+            assert response.voltage("n1", t_mult * tau) == pytest.approx(
+                expected, rel=1e-9)
+
+    def test_crossing_time_single_pole(self):
+        tree = RCTree.chain([1e3], [1e-12])
+        assert exact_delay(tree, "n1", 0.5) == pytest.approx(
+            math.log(2) * 1e-9, rel=1e-6)
+
+    def test_response_monotone(self):
+        tree = RCTree.chain([1e3] * 4, [1e-12] * 4)
+        response = step_response(tree)
+        previous = -1.0
+        for i in range(50):
+            v = float(response.voltage("n4", i * 2e-10))
+            assert v >= previous - 1e-12
+            previous = v
+
+    def test_threshold_validation(self):
+        tree = RCTree.chain([1e3], [1e-12])
+        with pytest.raises(AnalysisError):
+            exact_delay(tree, "n1", 1.5)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(AnalysisError):
+            step_response(RCTree("root"))
+
+    def test_zero_cap_nodes_tolerated(self):
+        tree = RCTree("root")
+        tree.add_edge("root", "a", 1e3)  # no cap on a
+        tree.add_edge("a", "b", 1e3)
+        tree.add_cap("b", 1e-12)
+        assert exact_delay(tree, "b", 0.5) > 0
+
+
+def random_tree(draw_edges):
+    tree = RCTree("src")
+    nodes = ["src"]
+    for i, (parent_index, r, c) in enumerate(draw_edges):
+        parent = nodes[parent_index % len(nodes)]
+        name = f"n{i}"
+        tree.add_edge(parent, name, r)
+        tree.add_cap(name, c)
+        nodes.append(name)
+    return tree, nodes[1:]
+
+
+edge_strategy = st.lists(
+    st.tuples(st.integers(0, 100),
+              st.floats(min_value=10.0, max_value=1e5),
+              st.floats(min_value=1e-15, max_value=1e-11)),
+    min_size=1, max_size=10)
+
+
+class TestBoundsProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(edges=edge_strategy,
+           threshold=st.floats(min_value=0.05, max_value=0.95),
+           pick=st.integers(0, 100))
+    def test_bounds_bracket_exact(self, edges, threshold, pick):
+        """The RPH bounds must bracket the exact eigen-solution response
+        for any tree, any node, any threshold."""
+        tree, nodes = random_tree(edges)
+        node = nodes[pick % len(nodes)]
+        bounds = delay_bounds(tree, node, threshold)
+        exact = exact_delay(tree, node, threshold)
+        slack = 1e-15 + 1e-6 * exact
+        assert bounds.lower - slack <= exact <= bounds.upper + slack
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=edge_strategy, pick=st.integers(0, 100))
+    def test_bounds_monotone_in_threshold(self, edges, pick):
+        tree, nodes = random_tree(edges)
+        node = nodes[pick % len(nodes)]
+        previous_lower = -1.0
+        for threshold in (0.1, 0.3, 0.5, 0.7, 0.9):
+            bounds = delay_bounds(tree, node, threshold)
+            assert bounds.lower >= previous_lower - 1e-18
+            previous_lower = bounds.lower
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=edge_strategy, pick=st.integers(0, 100))
+    def test_markov_bound_on_exact(self, edges, pick):
+        """The Elmore delay is the area of the remaining excursion, so the
+        Markov inequality bounds the 50% crossing by 2x the Elmore value
+        for any monotone response."""
+        tree, nodes = random_tree(edges)
+        node = nodes[pick % len(nodes)]
+        elmore = elmore_delay(tree, node)
+        exact = exact_delay(tree, node, 0.5)
+        assert exact <= elmore / (1 - 0.5) + 1e-15
+
+    def test_bounds_validation(self):
+        tree = RCTree.chain([1e3], [1e-12])
+        with pytest.raises(AnalysisError):
+            delay_bounds(tree, "n1", 0.0)
+        with pytest.raises(AnalysisError):
+            delay_bounds(tree, "n1", 1.0)
+
+    def test_bounds_root_is_zero(self):
+        tree = RCTree.chain([1e3], [1e-12])
+        bounds = delay_bounds(tree, "src", 0.5)
+        assert bounds.lower == bounds.upper == 0.0
+
+    def test_spread_and_midpoint(self):
+        tree = RCTree.chain([1e3] * 3, [1e-12] * 3)
+        bounds = delay_bounds(tree, "n3", 0.5)
+        assert bounds.spread == pytest.approx(bounds.upper - bounds.lower)
+        assert bounds.midpoint() == pytest.approx(
+            0.5 * (bounds.lower + bounds.upper))

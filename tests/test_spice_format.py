@@ -1,0 +1,162 @@
+"""Tests for the SPICE-subset netlist format."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist import Network, spice_format
+from repro.netlist.spice_format import StimulusSpec
+from repro.tech import CMOS3, NMOS4, DeviceKind
+
+CMOS_DECK = """\
+* a CMOS inverter
+.model men NMOS (VTO=0.8 KP=30u LAMBDA=0.02)
+.model mp PMOS (VTO=-0.8 KP=12u)
+Mn1 out a gnd gnd men W=6u L=2u
+Mp1 out a vdd vdd mp W=12u L=2u
+Cload out gnd 50f
+Va a gnd PULSE(0 5 2n 0.3n 0.3n 8n 20n)
+Vdd vdd gnd DC 5
+.tran 0.1n 20n
+.end
+"""
+
+
+class TestModelCards:
+    def test_nmos_model(self):
+        net, _ = spice_format.loads(
+            ".model men NMOS (VTO=0.8 KP=30u)\nM1 y a gnd gnd men\n", CMOS3)
+        assert net.transistors[0].kind is DeviceKind.NMOS_ENH
+
+    def test_negative_vto_is_depletion(self):
+        net, _ = spice_format.loads(
+            ".model mdep NMOS (VTO=-3 KP=25u)\nM1 vdd y y gnd mdep\n", NMOS4)
+        assert net.transistors[0].kind is DeviceKind.NMOS_DEP
+
+    def test_pmos_model(self):
+        net, _ = spice_format.loads(
+            ".model mp PMOS (VTO=-0.8 KP=12u)\nM1 y a vdd vdd mp\n", CMOS3)
+        assert net.transistors[0].kind is DeviceKind.PMOS
+
+    def test_unknown_model_type_rejected(self):
+        with pytest.raises(ParseError):
+            spice_format.loads(".model d1 DIODE (IS=1e-14)\n", CMOS3)
+
+    def test_unknown_model_reference_rejected(self):
+        with pytest.raises(ParseError):
+            spice_format.loads("M1 y a gnd gnd mystery\n", CMOS3)
+
+
+class TestElements:
+    def test_full_deck(self):
+        net, stimuli = spice_format.loads(CMOS_DECK, CMOS3)
+        assert len(net.transistors) == 2
+        assert net.node("out").capacitance == pytest.approx(50e-15)
+        assert "a" in stimuli
+        assert stimuli["a"].kind == "pulse"
+        assert {n.name for n in net.inputs()} == {"a"}
+
+    def test_mosfet_terminal_order(self):
+        """SPICE M cards are drain gate source bulk."""
+        net, _ = spice_format.loads(
+            ".model men NMOS (VTO=0.8 KP=30u)\n"
+            "M1 drainnode gatenode sourcenode gnd men\n", CMOS3)
+        device = net.transistors[0]
+        assert device.drain == "drainnode"
+        assert device.gate == "gatenode"
+        assert device.source == "sourcenode"
+
+    def test_geometry_parameters(self):
+        net, _ = spice_format.loads(
+            ".model men NMOS (VTO=0.8 KP=30u)\n"
+            "M1 y a gnd gnd men W=8u L=2u\n", CMOS3)
+        assert net.transistors[0].width == pytest.approx(8e-6)
+
+    def test_resistor_and_capacitor(self):
+        net, _ = spice_format.loads(
+            "R1 a b 4.7k\nC1 a b 10p\n", CMOS3)
+        assert net.resistors[0].resistance == pytest.approx(4700.0)
+        assert net.capacitors[0].capacitance == pytest.approx(10e-12)
+
+    def test_continuation_lines(self):
+        net, _ = spice_format.loads(
+            ".model men NMOS (VTO=0.8\n+ KP=30u)\nM1 y a gnd gnd men\n",
+            CMOS3)
+        assert len(net.transistors) == 1
+
+    def test_comments_skipped(self):
+        net, _ = spice_format.loads("* nothing here\nR1 a b 1k\n", CMOS3)
+        assert len(net.resistors) == 1
+
+    def test_end_stops_parsing(self):
+        net, _ = spice_format.loads("R1 a b 1k\n.end\nR2 c d 1k\n", CMOS3)
+        assert len(net.resistors) == 1
+
+
+class TestSources:
+    def test_dc_source_on_signal_marks_input(self):
+        net, stimuli = spice_format.loads("Vin a gnd DC 5\n", CMOS3)
+        assert stimuli["a"].dc_value == pytest.approx(5.0)
+        assert net.node("a").role.name == "INPUT"
+
+    def test_rail_source_folded(self):
+        net, stimuli = spice_format.loads("Vdd vdd gnd DC 5\n", CMOS3)
+        assert stimuli == {}
+
+    def test_pwl_source(self):
+        _, stimuli = spice_format.loads(
+            "Vin a gnd PWL(0 0 1n 5 2n 5)\n", CMOS3)
+        assert stimuli["a"].kind == "pwl"
+        assert stimuli["a"].values == (0.0, 0.0, 1e-9, 5.0, 2e-9, 5.0)
+
+    def test_non_ground_referenced_rejected(self):
+        with pytest.raises(ParseError):
+            spice_format.loads("Vx a b DC 5\n", CMOS3)
+
+    def test_dc_property_guard(self):
+        spec = StimulusSpec(kind="pulse", values=(0.0, 5.0))
+        with pytest.raises(ParseError):
+            spec.dc_value
+
+
+class TestErrors:
+    def test_unsupported_card(self):
+        with pytest.raises(ParseError):
+            spice_format.loads(".subckt foo a b\n", CMOS3)
+
+    def test_unsupported_element(self):
+        with pytest.raises(ParseError):
+            spice_format.loads("Lcoil a b 1u\n", CMOS3)
+
+    def test_leading_continuation(self):
+        with pytest.raises(ParseError):
+            spice_format.loads("+ KP=30u\n", CMOS3)
+
+    def test_bad_model_parameter(self):
+        with pytest.raises(ParseError):
+            spice_format.loads(".model men NMOS (VTO 0.8)\n", CMOS3)
+
+
+class TestDumps:
+    def test_round_trip_through_text(self):
+        net, stimuli = spice_format.loads(CMOS_DECK, CMOS3)
+        text = spice_format.dumps(net, stimuli)
+        clone, clone_stimuli = spice_format.loads(text, CMOS3)
+        assert len(clone.transistors) == 2
+        assert clone_stimuli["a"].kind == "pulse"
+        assert clone.node("out").capacitance == pytest.approx(50e-15)
+
+    def test_dumps_includes_models(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.PMOS, "a", "vdd", "y")
+        text = spice_format.dumps(net)
+        assert ".model" in text and "PMOS" in text
+
+    def test_simulatable_deck(self):
+        """A parsed deck can be handed straight to the analog engine."""
+        from repro.analog import simulate
+        from repro.analog.sources import from_spec
+
+        net, stimuli = spice_format.loads(CMOS_DECK, CMOS3)
+        drives = {node: from_spec(spec) for node, spec in stimuli.items()}
+        result = simulate(net, drives, t_stop=10e-9, steps=400)
+        assert result.waveform("out").initial_value() > 4.5

@@ -1,0 +1,185 @@
+"""Tests for the event-driven switch-level simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    adder_assignments,
+    adder_result,
+    inverter_chain,
+    mux_tree,
+    pass_chain,
+    precharged_bus,
+    ring_oscillator,
+    ripple_carry_adder,
+    xor_gate,
+)
+from repro.errors import SimulationError
+from repro.netlist import Network
+from repro.switchlevel import Logic, SwitchSimulator, exhaustive_truth_table
+from repro.tech import CMOS3, NMOS4, DeviceKind
+
+
+class TestBasics:
+    def test_initial_everything_x(self):
+        sim = SwitchSimulator(inverter_chain(CMOS3, 2))
+        assert sim.value("out") is Logic.X
+
+    def test_rails_fixed(self):
+        sim = SwitchSimulator(inverter_chain(CMOS3, 1))
+        assert sim.value("vdd") is Logic.ONE
+        assert sim.value("gnd") is Logic.ZERO
+
+    def test_cannot_drive_rails(self):
+        sim = SwitchSimulator(inverter_chain(CMOS3, 1))
+        with pytest.raises(SimulationError):
+            sim.set_input("vdd", 0)
+
+    def test_input_coercion(self):
+        sim = SwitchSimulator(inverter_chain(CMOS3, 1))
+        sim.set_input("in", True)
+        sim.settle()
+        assert sim.value("out") is Logic.ZERO
+        sim.set_input("in", "x")
+        sim.settle()
+        assert sim.value("out") is Logic.X
+
+    def test_bad_input_value(self):
+        sim = SwitchSimulator(inverter_chain(CMOS3, 1))
+        with pytest.raises(SimulationError):
+            sim.set_input("in", 7)
+
+    def test_run_shorthand(self):
+        sim = SwitchSimulator(inverter_chain(CMOS3, 3))
+        values = sim.run(**{"in": 0})
+        assert values["out"] is Logic.ONE
+
+    def test_trace_records_changes(self):
+        sim = SwitchSimulator(inverter_chain(CMOS3, 2))
+        sim.set_input("in", 1)
+        trace = sim.settle()
+        assert {"n1", "out"} <= trace.changed_nodes()
+
+    def test_resettling_same_input_no_events(self):
+        sim = SwitchSimulator(inverter_chain(CMOS3, 2))
+        sim.run(**{"in": 1})
+        sim.set_input("in", 1)
+        trace = sim.settle()
+        assert trace.events == []
+
+    def test_initial_values_respected(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "en", "in", "store")
+        net.mark_input("en", "in")
+        sim = SwitchSimulator(net, initial={"store": Logic.ONE})
+        sim.run(en=0, **{"in": 0})
+        assert sim.value("store") is Logic.ONE
+
+
+class TestChains:
+    @pytest.mark.parametrize("tech", [CMOS3, NMOS4], ids=["cmos", "nmos"])
+    @pytest.mark.parametrize("stages", [1, 2, 5])
+    def test_inverter_chain_polarity(self, tech, stages):
+        sim = SwitchSimulator(inverter_chain(tech, stages))
+        values = sim.run(**{"in": 1})
+        expected = Logic.ONE if stages % 2 == 0 else Logic.ZERO
+        assert values["out"] is expected
+
+    def test_pass_chain_propagates_when_enabled(self):
+        sim = SwitchSimulator(pass_chain(CMOS3, 4))
+        values = sim.run(en=1, **{"in": 0})
+        assert values["out"] is Logic.ONE  # driver inverts
+
+    def test_pass_chain_blocks_when_disabled(self):
+        sim = SwitchSimulator(pass_chain(CMOS3, 4))
+        values = sim.run(en=0, **{"in": 0})
+        assert values["out"] is Logic.X  # stale charge, never driven
+
+
+class TestSequencing:
+    def test_bus_precharge_then_discharge(self):
+        net = precharged_bus(NMOS4, drivers=2)
+        sim = SwitchSimulator(net)
+        # Precharge phase: phi high, drivers off.
+        sim.run(phi=1, d0=0, en0=0, d1=0, en1=0)
+        assert sim.value("bus") is Logic.ONE
+        # Evaluate: phi low; the bus holds its charge.
+        sim.run(phi=0)
+        assert sim.value("bus") is Logic.ONE
+        # One driver discharges it.
+        sim.run(d0=1, en0=1)
+        assert sim.value("bus") is Logic.ZERO
+
+    def test_dynamic_storage_in_shift_register(self):
+        from repro.circuits import shift_register
+        net = shift_register(NMOS4, 1)
+        sim = SwitchSimulator(net)
+        # Load a 0 through phase 1 (q follows after phase 2).
+        sim.run(din=0, phi1=1, phi2=0)
+        sim.run(phi1=0, phi2=1)
+        assert sim.value("q1") is Logic.ZERO
+        # Change din with both clocks low: output must hold.
+        sim.run(din=1, phi1=0, phi2=0)
+        assert sim.value("q1") is Logic.ZERO
+
+
+class TestOscillation:
+    def test_ring_oscillator_detected(self):
+        # Seed known levels: from all-X the ring settles to the (correct)
+        # all-X fixpoint; with real values it must cycle and trip the
+        # oscillation detector.
+        sim = SwitchSimulator(ring_oscillator(CMOS3, 3),
+                              initial={"r0": Logic.ZERO, "r1": Logic.ONE,
+                                       "r2": Logic.ZERO})
+        sim.set_input("en", 1)
+        with pytest.raises(SimulationError):
+            sim.settle()
+
+    def test_ring_all_x_is_a_fixpoint(self):
+        """Ternary semantics: an enabled ring with unknown state settles
+        to all-X rather than oscillating."""
+        sim = SwitchSimulator(ring_oscillator(CMOS3, 3))
+        sim.set_input("en", 1)
+        sim.settle()
+        assert sim.value("r0") is Logic.X
+
+    def test_disabled_ring_settles(self):
+        sim = SwitchSimulator(ring_oscillator(CMOS3, 3))
+        sim.set_input("en", 0)
+        sim.settle()
+        assert sim.value("r0") is Logic.ONE
+
+
+class TestTruthTables:
+    def test_xor_both_technologies(self):
+        for tech in (CMOS3, NMOS4):
+            rows = exhaustive_truth_table(xor_gate(tech), ["a", "b"], ["out"])
+            for bits, outs in rows:
+                expected = Logic.from_bool(bool(bits[0] ^ bits[1]))
+                assert outs["out"] is expected
+
+    def test_mux_tree_selects(self):
+        net = mux_tree(CMOS3, select_bits=2)
+        sim = SwitchSimulator(net)
+        data = {f"d{i}": (1 if i == 2 else 0) for i in range(4)}
+        values = sim.run(s0=0, s0n=1, s1=1, s1n=0, **data)
+        assert values["out"] is Logic.ONE
+        values = sim.run(s1=0, s1n=1)
+        assert values["out"] is Logic.ZERO
+
+    def test_input_limit(self):
+        with pytest.raises(SimulationError):
+            exhaustive_truth_table(inverter_chain(CMOS3, 1),
+                                   [f"i{k}" for k in range(17)], ["out"])
+
+
+class TestAdderProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255),
+           cin=st.integers(0, 1))
+    def test_eight_bit_addition(self, a, b, cin):
+        net = ripple_carry_adder(CMOS3, 8)
+        sim = SwitchSimulator(net)
+        values = sim.run(**adder_assignments(8, a, b, cin))
+        assert adder_result(values, 8) == a + b + cin

@@ -1,0 +1,179 @@
+"""Tests for the per-stage steady-state solver."""
+
+import pytest
+
+from repro.netlist import Network, decompose_stages
+from repro.switchlevel import Logic, conduction_state, solve_stage
+from repro.tech import CMOS3, NMOS4, DeviceKind
+
+
+class TestConductionState:
+    def test_nmos(self):
+        on = conduction_state(DeviceKind.NMOS_ENH, Logic.ONE, False)
+        assert on.definite and on.possible
+        off = conduction_state(DeviceKind.NMOS_ENH, Logic.ZERO, False)
+        assert not off.definite and not off.possible
+        maybe = conduction_state(DeviceKind.NMOS_ENH, Logic.X, False)
+        assert not maybe.definite and maybe.possible
+
+    def test_pmos_inverted(self):
+        on = conduction_state(DeviceKind.PMOS, Logic.ZERO, False)
+        assert on.definite
+        off = conduction_state(DeviceKind.PMOS, Logic.ONE, False)
+        assert not off.possible
+
+    def test_depletion_always_on(self):
+        for value in Logic:
+            state = conduction_state(DeviceKind.NMOS_DEP, value, True)
+            assert state.definite
+
+
+def single_stage(net):
+    stages = decompose_stages(net)
+    assert len(stages) == 1
+    return stages[0]
+
+
+class TestCMOSStage:
+    @pytest.fixture
+    def inverter(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y")
+        net.add_transistor(DeviceKind.PMOS, "a", "vdd", "y")
+        net.mark_input("a")
+        return net
+
+    def test_inverter_low(self, inverter):
+        stage = single_stage(inverter)
+        out = solve_stage(inverter, stage, {"a": Logic.ONE})
+        assert out["y"] is Logic.ZERO
+
+    def test_inverter_high(self, inverter):
+        stage = single_stage(inverter)
+        out = solve_stage(inverter, stage, {"a": Logic.ZERO})
+        assert out["y"] is Logic.ONE
+
+    def test_inverter_x_in_x_out(self, inverter):
+        stage = single_stage(inverter)
+        out = solve_stage(inverter, stage, {"a": Logic.X})
+        assert out["y"] is Logic.X
+
+    def test_missing_signal_defaults_to_x(self, inverter):
+        stage = single_stage(inverter)
+        out = solve_stage(inverter, stage, {})
+        assert out["y"] is Logic.X
+
+
+class TestNMOSStage:
+    @pytest.fixture
+    def inverter(self):
+        net = Network(NMOS4)
+        net.add_transistor(DeviceKind.NMOS_ENH, "a", "gnd", "y",
+                           width=8e-6, length=2e-6)
+        net.add_transistor(DeviceKind.NMOS_DEP, "y", "y", "vdd",
+                           width=2e-6, length=8e-6)
+        net.mark_input("a")
+        return net
+
+    def test_pulldown_beats_load(self, inverter):
+        stage = single_stage(inverter)
+        out = solve_stage(inverter, stage, {"a": Logic.ONE})
+        assert out["y"] is Logic.ZERO
+
+    def test_load_pulls_up_when_released(self, inverter):
+        stage = single_stage(inverter)
+        out = solve_stage(inverter, stage, {"a": Logic.ZERO, "y": Logic.ZERO})
+        assert out["y"] is Logic.ONE
+
+
+class TestChargeBehaviour:
+    def test_isolated_node_keeps_charge(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "en", "in", "store")
+        net.mark_input("en", "in")
+        stage = single_stage(net)
+        out = solve_stage(net, stage,
+                          {"en": Logic.ZERO, "store": Logic.ONE})
+        assert out["store"] is Logic.ONE
+
+    def test_pass_on_overwrites_charge(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "en", "in", "store")
+        net.mark_input("en", "in")
+        stage = single_stage(net)
+        out = solve_stage(net, stage, {"en": Logic.ONE, "in": Logic.ZERO,
+                                       "store": Logic.ONE})
+        assert out["store"] is Logic.ZERO
+
+    def test_charge_sharing_conflict_is_x(self):
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "en", "left", "right")
+        net.mark_input("en")
+        # Both channel nodes are internal storage with opposite charge.
+        stage = single_stage(net)
+        out = solve_stage(net, stage, {"en": Logic.ONE, "left": Logic.ONE,
+                                       "right": Logic.ZERO})
+        assert out["left"] is Logic.X
+        assert out["right"] is Logic.X
+
+    def test_maybe_conducting_pass_poisons(self):
+        """X on a pass gate: stored 1 might be overwritten by a driven 0."""
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "en", "in", "store")
+        net.mark_input("en", "in")
+        stage = single_stage(net)
+        out = solve_stage(net, stage, {"en": Logic.X, "in": Logic.ZERO,
+                                       "store": Logic.ONE})
+        assert out["store"] is Logic.X
+
+    def test_maybe_conducting_agreeing_value_stays(self):
+        """X on the pass gate but both sides agree: no uncertainty."""
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "en", "in", "store")
+        net.mark_input("en", "in")
+        stage = single_stage(net)
+        out = solve_stage(net, stage, {"en": Logic.X, "in": Logic.ONE,
+                                       "store": Logic.ONE})
+        assert out["store"] is Logic.ONE
+
+
+class TestFights:
+    def test_driven_fight_is_x(self):
+        """Two rails fighting through on transistors: X."""
+        net = Network(CMOS3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "g1", "gnd", "y")
+        net.add_transistor(DeviceKind.NMOS_ENH, "g2", "vdd", "y")
+        net.mark_input("g1", "g2")
+        stage = single_stage(net)
+        out = solve_stage(net, stage, {"g1": Logic.ONE, "g2": Logic.ONE})
+        assert out["y"] is Logic.X
+
+    def test_driven_beats_depletion(self):
+        net = Network(NMOS4)
+        net.add_transistor(DeviceKind.NMOS_ENH, "g", "gnd", "y")
+        net.add_transistor(DeviceKind.NMOS_DEP, "y", "y", "vdd")
+        net.mark_input("g")
+        stage = single_stage(net)
+        out = solve_stage(net, stage, {"g": Logic.ONE})
+        assert out["y"] is Logic.ZERO
+
+    def test_depletion_beats_charge(self):
+        net = Network(NMOS4)
+        net.add_transistor(DeviceKind.NMOS_ENH, "g", "gnd", "y")
+        net.add_transistor(DeviceKind.NMOS_DEP, "y", "y", "vdd")
+        net.mark_input("g")
+        stage = single_stage(net)
+        out = solve_stage(net, stage, {"g": Logic.ZERO, "y": Logic.ZERO})
+        assert out["y"] is Logic.ONE
+
+    def test_resistor_connects_at_full_strength(self):
+        net = Network(CMOS3)
+        net.add_resistor("vdd", "y", 1e3)
+        net.add_transistor(DeviceKind.NMOS_ENH, "g", "gnd", "y")
+        net.mark_input("g")
+        stage = single_stage(net)
+        out = solve_stage(net, stage, {"g": Logic.ZERO})
+        assert out["y"] is Logic.ONE
+        # With the pulldown on, two DRIVEN sources fight: X.
+        out = solve_stage(net, stage, {"g": Logic.ONE})
+        assert out["y"] is Logic.X

@@ -1,0 +1,109 @@
+"""Tests for ternary logic values and strengths."""
+
+import pytest
+
+from repro.switchlevel import Logic, Strength, resolve
+
+
+class TestLogicOperators:
+    def test_invert(self):
+        assert ~Logic.ZERO is Logic.ONE
+        assert ~Logic.ONE is Logic.ZERO
+        assert ~Logic.X is Logic.X
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (Logic.ZERO, Logic.ZERO, Logic.ZERO),
+        (Logic.ZERO, Logic.ONE, Logic.ZERO),
+        (Logic.ONE, Logic.ONE, Logic.ONE),
+        (Logic.ZERO, Logic.X, Logic.ZERO),  # 0 dominates AND
+        (Logic.ONE, Logic.X, Logic.X),
+        (Logic.X, Logic.X, Logic.X),
+    ])
+    def test_and(self, a, b, expected):
+        assert (a & b) is expected
+        assert (b & a) is expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (Logic.ZERO, Logic.ZERO, Logic.ZERO),
+        (Logic.ZERO, Logic.ONE, Logic.ONE),
+        (Logic.ONE, Logic.ONE, Logic.ONE),
+        (Logic.ONE, Logic.X, Logic.ONE),  # 1 dominates OR
+        (Logic.ZERO, Logic.X, Logic.X),
+        (Logic.X, Logic.X, Logic.X),
+    ])
+    def test_or(self, a, b, expected):
+        assert (a | b) is expected
+        assert (b | a) is expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (Logic.ZERO, Logic.ZERO, Logic.ZERO),
+        (Logic.ZERO, Logic.ONE, Logic.ONE),
+        (Logic.ONE, Logic.ONE, Logic.ZERO),
+        (Logic.ONE, Logic.X, Logic.X),  # X poisons XOR
+        (Logic.ZERO, Logic.X, Logic.X),
+    ])
+    def test_xor(self, a, b, expected):
+        assert (a ^ b) is expected
+
+    def test_de_morgan_on_known_values(self):
+        for a in (Logic.ZERO, Logic.ONE):
+            for b in (Logic.ZERO, Logic.ONE):
+                assert ~(a & b) is (~a | ~b)
+                assert ~(a | b) is (~a & ~b)
+
+    def test_is_known(self):
+        assert Logic.ZERO.is_known and Logic.ONE.is_known
+        assert not Logic.X.is_known
+
+    def test_str(self):
+        assert str(Logic.ZERO) == "0"
+        assert str(Logic.ONE) == "1"
+        assert str(Logic.X) == "X"
+
+
+class TestConversions:
+    def test_from_bool(self):
+        assert Logic.from_bool(True) is Logic.ONE
+        assert Logic.from_bool(False) is Logic.ZERO
+
+    def test_from_voltage_thresholds(self):
+        assert Logic.from_voltage(0.5, 5.0) is Logic.ZERO
+        assert Logic.from_voltage(4.5, 5.0) is Logic.ONE
+        assert Logic.from_voltage(2.5, 5.0) is Logic.X
+
+    def test_from_voltage_custom_margins(self):
+        assert Logic.from_voltage(2.0, 5.0, low_frac=0.45,
+                                  high_frac=0.55) is Logic.ZERO
+
+    def test_to_voltage(self):
+        assert Logic.ZERO.to_voltage(5.0) == 0.0
+        assert Logic.ONE.to_voltage(5.0) == 5.0
+        assert Logic.X.to_voltage(5.0) == 2.5
+
+    def test_round_trip(self):
+        for level in (Logic.ZERO, Logic.ONE):
+            assert Logic.from_voltage(level.to_voltage(5.0), 5.0) is level
+
+
+class TestStrength:
+    def test_ordering(self):
+        assert Strength.NONE < Strength.CHARGED
+        assert Strength.CHARGED < Strength.DEPLETION
+        assert Strength.DEPLETION < Strength.DRIVEN
+
+    def test_min_used_for_decay(self):
+        assert min(Strength.DRIVEN, Strength.DEPLETION) is Strength.DEPLETION
+
+
+class TestResolve:
+    def test_agreeing_signals(self):
+        assert resolve([Logic.ONE, Logic.ONE]) is Logic.ONE
+
+    def test_conflict_is_x(self):
+        assert resolve([Logic.ONE, Logic.ZERO]) is Logic.X
+
+    def test_empty_is_x(self):
+        assert resolve([]) is Logic.X
+
+    def test_single(self):
+        assert resolve([Logic.ZERO]) is Logic.ZERO

@@ -1,0 +1,195 @@
+"""Tests for device parameters and technology descriptions."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import (
+    CMOS3,
+    NMOS4,
+    DeviceKind,
+    DeviceParams,
+    StaticResistance,
+    Technology,
+    Transition,
+    analytic_static_resistance,
+    ratio_check,
+)
+from repro.tech.parameters import subthreshold_leakage_estimate, thermal_voltage
+
+
+class TestDeviceKind:
+    def test_n_channel_flags(self):
+        assert DeviceKind.NMOS_ENH.is_n_channel
+        assert DeviceKind.NMOS_DEP.is_n_channel
+        assert not DeviceKind.PMOS.is_n_channel
+
+    def test_polarity(self):
+        assert DeviceKind.NMOS_ENH.polarity == 1
+        assert DeviceKind.PMOS.polarity == -1
+
+    def test_codes_round_trip(self):
+        for kind in DeviceKind:
+            assert DeviceKind(kind.value) is kind
+
+
+class TestTransition:
+    def test_opposite(self):
+        assert Transition.RISE.opposite is Transition.FALL
+        assert Transition.FALL.opposite is Transition.RISE
+
+    def test_double_opposite(self):
+        for t in Transition:
+            assert t.opposite.opposite is t
+
+
+class TestDeviceParams:
+    @pytest.fixture
+    def params(self):
+        return DeviceParams(kind=DeviceKind.NMOS_ENH, vt0=1.0, kp=25e-6)
+
+    def test_beta_scales_with_geometry(self, params):
+        assert params.beta(8e-6, 2e-6) == pytest.approx(4 * 25e-6)
+        assert params.beta(2e-6, 8e-6) == pytest.approx(25e-6 / 4)
+
+    def test_beta_rejects_bad_geometry(self, params):
+        with pytest.raises(TechnologyError):
+            params.beta(0.0, 2e-6)
+        with pytest.raises(TechnologyError):
+            params.beta(2e-6, -1e-6)
+
+    def test_gate_capacitance(self, params):
+        cap = params.gate_capacitance(8e-6, 2e-6)
+        assert cap == pytest.approx(params.cox * 16e-12)
+
+    def test_diffusion_capacitance(self, params):
+        assert params.diffusion_capacitance(8e-6) == pytest.approx(
+            params.cj_per_width * 8e-6)
+
+    def test_saturation_current_enhancement(self, params):
+        current = params.saturation_current(5.0, 8e-6, 2e-6)
+        assert current == pytest.approx(0.5 * 25e-6 * 4 * 16.0)
+
+    def test_saturation_current_cutoff(self, params):
+        assert params.saturation_current(0.5, 8e-6, 2e-6) == 0.0
+
+    def test_saturation_current_depletion(self):
+        dep = DeviceParams(kind=DeviceKind.NMOS_DEP, vt0=-3.0, kp=25e-6)
+        # A depletion device conducts even at zero gate drive.
+        assert dep.saturation_current(0.0, 2e-6, 2e-6) > 0
+
+
+class TestStaticResistance:
+    def test_square_scaling(self):
+        entry = StaticResistance(r_square=10e3)
+        assert entry.resistance(2e-6, 2e-6) == pytest.approx(10e3)
+        assert entry.resistance(8e-6, 2e-6) == pytest.approx(2.5e3)
+        assert entry.resistance(2e-6, 8e-6) == pytest.approx(40e3)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(TechnologyError):
+            StaticResistance(1e3).resistance(-1e-6, 2e-6)
+
+
+class TestTechnologies:
+    def test_nmos4_has_both_kinds(self):
+        assert NMOS4.has_kind(DeviceKind.NMOS_ENH)
+        assert NMOS4.has_kind(DeviceKind.NMOS_DEP)
+        assert not NMOS4.has_kind(DeviceKind.PMOS)
+
+    def test_cmos3_has_both_kinds(self):
+        assert CMOS3.has_kind(DeviceKind.NMOS_ENH)
+        assert CMOS3.has_kind(DeviceKind.PMOS)
+        assert not CMOS3.has_kind(DeviceKind.NMOS_DEP)
+
+    def test_params_unknown_kind_raises(self):
+        with pytest.raises(TechnologyError):
+            CMOS3.params(DeviceKind.NMOS_DEP)
+
+    def test_resistance_lookup(self):
+        r = CMOS3.resistance(DeviceKind.NMOS_ENH, Transition.FALL, 6e-6, 2e-6)
+        assert r > 0
+
+    def test_resistance_unknown_key_raises(self):
+        with pytest.raises(TechnologyError):
+            NMOS4.resistance(DeviceKind.PMOS, Transition.RISE, 1e-6, 1e-6)
+
+    def test_degraded_pass_resistance_larger(self):
+        """nMOS passing a rising level is threshold-degraded: higher R."""
+        rise = CMOS3.resistance(DeviceKind.NMOS_ENH, Transition.RISE,
+                                4e-6, 2e-6)
+        fall = CMOS3.resistance(DeviceKind.NMOS_ENH, Transition.FALL,
+                                4e-6, 2e-6)
+        assert rise > fall
+
+    def test_pmos_weaker_than_nmos(self):
+        """Same geometry: the pMOS pullup is more resistive (mobility)."""
+        r_p = CMOS3.resistance(DeviceKind.PMOS, Transition.RISE, 6e-6, 2e-6)
+        r_n = CMOS3.resistance(DeviceKind.NMOS_ENH, Transition.FALL,
+                               6e-6, 2e-6)
+        assert r_p > r_n
+
+    def test_depletion_load_very_resistive(self):
+        r_dep = NMOS4.resistance(DeviceKind.NMOS_DEP, Transition.RISE,
+                                 2e-6, 8e-6)
+        r_enh = NMOS4.resistance(DeviceKind.NMOS_ENH, Transition.FALL,
+                                 8e-6, 2e-6)
+        assert r_dep > 5 * r_enh
+
+    def test_logic_threshold(self):
+        assert CMOS3.logic_threshold() == pytest.approx(2.5)
+
+    def test_describe_mentions_devices(self):
+        text = NMOS4.describe()
+        assert "NMOS_ENH" in text and "NMOS_DEP" in text
+
+    def test_with_slope_tables_copies(self):
+        marker = object()
+        copy = CMOS3.with_slope_tables(marker)
+        assert copy.slope_tables is marker
+        assert copy is not CMOS3
+        assert CMOS3.slope_tables is not marker
+
+    def test_default_slope_tables_attached(self):
+        assert CMOS3.slope_tables is not None
+        assert NMOS4.slope_tables is not None
+
+
+class TestAnalyticResistance:
+    def test_positive_for_all_kinds(self):
+        for tech in (CMOS3, NMOS4):
+            for params in tech.devices.values():
+                assert analytic_static_resistance(params, tech.vdd) > 0
+
+    def test_no_overdrive_raises(self):
+        weak = DeviceParams(kind=DeviceKind.NMOS_ENH, vt0=6.0, kp=25e-6)
+        with pytest.raises(TechnologyError):
+            analytic_static_resistance(weak, 5.0)
+
+    def test_scales_inversely_with_kp(self):
+        a = DeviceParams(kind=DeviceKind.NMOS_ENH, vt0=1.0, kp=25e-6)
+        b = DeviceParams(kind=DeviceKind.NMOS_ENH, vt0=1.0, kp=50e-6)
+        assert analytic_static_resistance(a, 5.0) == pytest.approx(
+            2 * analytic_static_resistance(b, 5.0))
+
+
+class TestHelpers:
+    def test_ratio_check_passes_standard_inverter(self):
+        pulldown = NMOS4.params(DeviceKind.NMOS_ENH).beta(8e-6, 2e-6)
+        load = NMOS4.params(DeviceKind.NMOS_DEP).beta(2e-6, 8e-6)
+        assert ratio_check(pulldown, load, minimum=4.0)
+
+    def test_ratio_check_fails_weak_pulldown(self):
+        assert not ratio_check(1.0, 1.0, minimum=4.0)
+
+    def test_ratio_check_rejects_bad_load(self):
+        with pytest.raises(TechnologyError):
+            ratio_check(1.0, 0.0)
+
+    def test_thermal_voltage_room_temperature(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_subthreshold_leakage_tiny(self):
+        params = CMOS3.params(DeviceKind.NMOS_ENH)
+        leak = subthreshold_leakage_estimate(params, 6e-6, 2e-6)
+        on_current = params.saturation_current(5.0, 6e-6, 2e-6)
+        assert 0 < leak < 1e-6 * on_current
