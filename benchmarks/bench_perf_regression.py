@@ -1,0 +1,117 @@
+"""Machine-readable perf trajectory for the timing engine.
+
+Runs the Table-T4 scenarios (ripple-carry adders 4..32 bits plus the
+5-bit decoder) through the analyzer, and writes ``BENCH_timing.json``
+next to this file: wall time, device count, and the engine's perf
+counters (stage visits, model evaluations, cache hit rate, worklist
+traffic) for every circuit, plus a bounded history of previous runs so
+future PRs can see the trend.
+
+The run **fails** when rca32 analysis regresses more than 25 % over the
+wall time recorded in the committed baseline.  Wall clocks differ across
+machines, so set ``REPRO_BENCH_NO_FAIL=1`` to record without enforcing
+(e.g. on a first run on new hardware); the counter columns are
+hardware-independent and always comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.circuits import adder_input_names, decoder, ripple_carry_adder
+from repro.core.timing import TimingAnalyzer
+
+RESULT_FILE = pathlib.Path(__file__).parent / "BENCH_timing.json"
+
+#: Allowed rca32 slowdown over the recorded baseline before failing.
+REGRESSION_TOLERANCE = 1.25
+
+#: Best-of-N timing to tame scheduler noise.
+REPEATS = 3
+
+#: Runs kept in the trajectory history.
+HISTORY_LIMIT = 50
+
+
+def _t4_scenarios(tech):
+    for bits in (4, 8, 16, 32):
+        yield (f"rca{bits}", ripple_carry_adder(tech, bits),
+               {name: 0.0 for name in adder_input_names(bits)})
+    yield ("dec5", decoder(tech, 5), {f"a{i}": 0.0 for i in range(5)})
+
+
+def _measure(network, inputs):
+    """Best-of-N cold analysis wall time, with the fastest run's counters."""
+    best = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = TimingAnalyzer(network).analyze(inputs)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result.perf)
+    seconds, perf = best
+    return {
+        "transistors": len(network.transistors),
+        "analyzer_seconds": seconds,
+        "counters": dict(perf.counters) if perf else {},
+    }
+
+
+def test_perf_regression(cmos_char, emit):
+    circuits = {}
+    for name, network, inputs in _t4_scenarios(cmos_char):
+        circuits[name] = _measure(network, inputs)
+
+    previous = None
+    history = []
+    if RESULT_FILE.exists():
+        recorded = json.loads(RESULT_FILE.read_text())
+        previous = recorded.get("circuits", {})
+        history = recorded.get("history", [])
+
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "rca32_seconds": circuits["rca32"]["analyzer_seconds"],
+        "rca32_model_evals":
+            circuits["rca32"]["counters"].get("model_evals"),
+    })
+    payload = {
+        "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "circuits": circuits,
+        "history": history[-HISTORY_LIMIT:],
+    }
+    RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = ["perf regression (T4 circuits)",
+             f"{'circuit':<8} {'devices':>8} {'seconds':>9} "
+             f"{'visits':>7} {'evals':>7} {'hits':>7}"]
+    for name, row in circuits.items():
+        c = row["counters"]
+        lines.append(
+            f"{name:<8} {row['transistors']:>8} "
+            f"{row['analyzer_seconds']:>9.4f} "
+            f"{c.get('stage_visits', 0):>7} {c.get('model_evals', 0):>7} "
+            f"{c.get('model_cache_hits', 0):>7}")
+    emit("perf_regression", "\n".join(lines))
+
+    # Every circuit must report the counters the trajectory tracks.
+    for name, row in circuits.items():
+        for counter in ("stage_visits", "model_evals", "worklist_pushes"):
+            assert counter in row["counters"], (name, counter)
+
+    if previous and "rca32" in previous:
+        baseline = previous["rca32"].get("analyzer_seconds")
+        current = circuits["rca32"]["analyzer_seconds"]
+        if baseline and not os.environ.get("REPRO_BENCH_NO_FAIL"):
+            assert current <= baseline * REGRESSION_TOLERANCE, (
+                f"rca32 analysis regressed: {current:.3f}s vs recorded "
+                f"baseline {baseline:.3f}s (>{REGRESSION_TOLERANCE:.0%}); "
+                "set REPRO_BENCH_NO_FAIL=1 to re-record on new hardware")

@@ -202,6 +202,9 @@ class RuntimeRow:
     transistors: int
     analyzer_seconds: float
     simulator_seconds: Optional[float]  # None when too large to simulate
+    #: perf counters of the timed analysis (stage visits, model evals,
+    #: cache hits, worklist traffic) — see :mod:`repro.perf`
+    perf: Optional[Dict[str, int]] = None
 
     @property
     def speedup(self) -> Optional[float]:
@@ -225,9 +228,19 @@ def runtime_comparison(network: Network,
                        t_stop: float = 0.0,
                        model: Optional[DelayModel] = None,
                        simulate_reference: bool = True) -> RuntimeRow:
-    """Wall-clock of one full timing analysis vs one transient run."""
+    """Wall-clock of one full timing analysis vs one transient run.
+
+    Each timed run builds a fresh :class:`TimingAnalyzer` (cold caches) so
+    the number reflects an end-to-end analysis, not a warm re-query.  The
+    perf counters of the last timed run ride along on the row.
+    """
+    last_perf: Dict[str, object] = {}
+
     def run_analyzer():
-        TimingAnalyzer(network, model=model).analyze(timing_inputs)
+        result = TimingAnalyzer(network, model=model).analyze(timing_inputs)
+        if result.perf is not None:
+            last_perf.clear()
+            last_perf.update(result.perf.counters)
 
     analyzer_seconds = time_callable(run_analyzer)
     simulator_seconds = None
@@ -239,4 +252,5 @@ def runtime_comparison(network: Network,
         transistors=len(network.transistors),
         analyzer_seconds=analyzer_seconds,
         simulator_seconds=simulator_seconds,
+        perf=dict(last_perf) or None,
     )

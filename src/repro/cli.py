@@ -151,8 +151,13 @@ def cmd_timing(args: argparse.Namespace) -> int:
             spec = InputSpec(arrival_rise=spec.arrival_rise,
                              arrival_fall=spec.arrival_fall, slope=slope)
         inputs[name] = spec
-    analyzer = TimingAnalyzer(network, model=model)
+    analyzer = TimingAnalyzer(network, model=model,
+                              slope_quantum=args.slope_quantum)
     result = analyzer.analyze(inputs)
+
+    if args.profile and result.perf is not None:
+        print(result.perf.format_table("analysis perf counters"))
+        print()
 
     if args.report:
         for node in args.report:
@@ -225,6 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worst arrivals to list (default 5)")
     p.add_argument("--no-characterize", action="store_true",
                    help="use analytic default tables (fast, less accurate)")
+    p.add_argument("--profile", action="store_true",
+                   help="print engine perf counters (stage visits, model "
+                        "evaluations, cache hits, worklist traffic)")
+    p.add_argument("--slope-quantum", type=float, default=0.0,
+                   metavar="FRACTION",
+                   help="relative slope quantization for the delay-model "
+                        "memo cache (e.g. 0.05; default 0 = exact)")
     p.set_defaults(func=cmd_timing)
 
     p = sub.add_parser("hazards", help="charge-sharing hazard scan")

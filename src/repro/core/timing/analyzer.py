@@ -1,32 +1,52 @@
 """The static timing analyzer (the Crystal of the reproduction).
 
-Event-driven worst-case arrival propagation over the stage graph:
+Incremental event-driven worst-case arrival propagation over the stage
+graph:
 
 1. every primary input contributes an initial event (rise and/or fall at a
    user-given time and slope);
 2. whenever a node's arrival for some transition improves (gets *later*),
-   every stage the node gates or feeds is re-evaluated;
-3. a stage evaluation enumerates the sensitizable paths to each of its
-   internal nodes (see :mod:`repro.core.timing.paths`), asks the configured
-   delay model for each (path, trigger) whose trigger already has an
-   arrival, and keeps the worst;
-4. the process reaches a fixpoint because arrivals only ever increase; an
+   the changed event is queued against every stage it triggers, on a
+   priority worklist keyed by the arrival time — stages are therefore
+   visited roughly in topological/temporal order, which makes most visits
+   final on feed-forward logic;
+3. a stage visit is **demand-driven**: a per-stage index maps each trigger
+   event to the exact (target node, transition, path, trigger) delay
+   candidates it can affect, so only the candidates whose upstream event
+   actually changed are re-evaluated (the first visit evaluates the stage
+   exhaustively to seed the index);
+4. delay-model answers are memoized on
+   ``(stage, target, transition, path, trigger kind, quantized slope)`` —
+   an upstream arrival whose *time* improved but whose *slope* did not
+   re-uses the cached stage delay outright;
+5. the process reaches a fixpoint because arrivals only ever increase; an
    iteration cap catches genuine timing loops.
 
 The result records, for every (node, transition), the arrival time, the
 propagated slope, and the causal link used — enough to reconstruct the
-critical path stage by stage (:mod:`repro.core.timing.report`).
+critical path stage by stage (:mod:`repro.core.timing.report`) — plus the
+run's :class:`~repro.perf.PerfCounters` (stage visits, model evaluations,
+cache hits, worklist traffic).
+
+Ties are broken deterministically: when two candidates arrive within the
+relative epsilon of each other, the one with the smaller canonical rank
+(path enumeration order, then trigger order) wins, regardless of the order
+in which the engine happened to discover them.  This makes the incremental
+engine's output bit-identical to a brute-force full re-evaluation
+(``incremental=False``), which the regression tests assert.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import heapq
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from ...errors import TimingError
 from ...netlist import Network
 from ...netlist.stages import Stage
+from ...perf import PerfCounters
 from ...rctree import RCTree
 from ...switchlevel import Logic
 from ...tech import Transition
@@ -38,6 +58,16 @@ from .stage_graph import StageGraph
 #: Arrivals closer than this (relative to the largest magnitude seen) are
 #: considered equal — stops slope jitter from causing endless revisits.
 _RELATIVE_EPSILON = 1e-9
+
+#: Deterministic iteration order of transitions (enum declaration order).
+_TRANSITIONS: Tuple[Transition, ...] = tuple(Transition)
+_TRANSITION_ORDER: Dict[Transition, int] = {
+    t: i for i, t in enumerate(_TRANSITIONS)
+}
+
+#: Canonical rank of a primary-input arrival: beats any computed candidate
+#: of equal time (a stage never displaces the user's own input timing).
+_PRIMARY_RANK: Tuple[int, int] = (-1, -1)
 
 
 @dataclass(frozen=True)
@@ -92,6 +122,8 @@ class TimingResult:
     network: Network
     model_name: str
     arrivals: Dict[Event, Arrival]
+    #: per-run observability: stage visits, model evals, cache hits, …
+    perf: Optional[PerfCounters] = None
 
     def arrival(self, node: str, transition: Transition) -> Arrival:
         from ...errors import NetlistError
@@ -144,6 +176,27 @@ class TimingResult:
         return chain
 
 
+class _IndexEntry:
+    """One delay candidate a trigger event can affect, in a fixed stage.
+
+    ``order`` is the path's position in the stage's path enumeration and
+    ``trigger_pos`` the trigger's position within the path — together the
+    candidate's canonical tie-break rank.
+    """
+
+    __slots__ = ("node", "transition", "order", "trigger_pos", "path",
+                 "trigger")
+
+    def __init__(self, node: str, transition: Transition, order: int,
+                 trigger_pos: int, path: SensitizedPath, trigger: Trigger):
+        self.node = node
+        self.transition = transition
+        self.order = order
+        self.trigger_pos = trigger_pos
+        self.path = path
+        self.trigger = trigger
+
+
 class TimingAnalyzer:
     """Configure once, analyze many input scenarios.
 
@@ -164,6 +217,31 @@ class TimingAnalyzer:
         given, nodes whose value provably does not change produce no
         events — the single-vector transition pruning Crystal performed
         with simulator-supplied node values.
+    incremental:
+        ``True`` (default) enables demand-driven stage re-evaluation:
+        after a stage's first exhaustive visit, only the delay candidates
+        whose upstream trigger actually changed are recomputed.  ``False``
+        re-evaluates every internal node × transition of a stage on every
+        visit — the brute-force reference the regression tests compare
+        against.  Both modes share the worklist, the memo cache, and the
+        deterministic tie-break, so their outputs are identical.
+    slope_quantum:
+        Relative quantization applied to input slopes before they key the
+        delay-model memo cache (``0.05`` = snap to a 5 % geometric grid).
+        The *quantized* slope is also what the model is evaluated with, so
+        results stay deterministic regardless of evaluation order.  The
+        default ``0.0`` disables quantization — every distinct slope gets
+        its own cache line and results are exact.
+
+    Caching and invalidation
+    ------------------------
+    Path enumerations, RC trees, the per-stage trigger index, and the
+    delay-model memo are all keyed on state that is fixed at construction
+    time (network topology, ``states``, the model, the technology), so
+    they live for the analyzer's lifetime and are shared across
+    ``analyze()`` calls — a second run of the same scenario is almost
+    entirely cache hits.  If the network, technology tables, or model are
+    mutated in place, call :meth:`invalidate_caches`.
     """
 
     #: Re-evaluations of one stage before declaring a timing loop.  Deep
@@ -174,16 +252,46 @@ class TimingAnalyzer:
 
     def __init__(self, network: Network, model: Optional[DelayModel] = None,
                  states: Optional[StateMap] = None,
-                 initial_states: Optional[StateMap] = None):
+                 initial_states: Optional[StateMap] = None,
+                 incremental: bool = True,
+                 slope_quantum: float = 0.0):
         self.network = network
         self.model = model if model is not None else SlopeModel()
         self.states = states
         self.initial_states = initial_states
-        self.graph = StageGraph.build(network)
+        self.incremental = incremental
+        if slope_quantum < 0:
+            raise TimingError(f"negative slope quantum {slope_quantum!r}")
+        self.slope_quantum = float(slope_quantum)
+        #: cumulative counters over every ``analyze()`` of this instance
+        self.perf = PerfCounters()
+        self._run_perf: Optional[PerfCounters] = None
+        with self.perf.timer("stage_graph_build"):
+            self.graph = StageGraph.build(network)
         # Per-(stage, node, transition) path cache and per-path tree cache.
         self._paths: Dict[Tuple[int, str, Transition],
                           List[SensitizedPath]] = {}
         self._trees: Dict[Tuple[int, str, Transition, int], RCTree] = {}
+        # Delay-model memo: (stage, node, transition, path order,
+        # trigger kind, quantized slope) -> StageDelay.
+        self._delay_cache: Dict[Tuple, StageDelay] = {}
+        # Per-stage reverse index: trigger event -> candidates it affects.
+        self._trigger_index: Dict[int, Dict[Event, List[_IndexEntry]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived cache (paths, RC trees, trigger indexes,
+        memoized stage delays).  Call after mutating the network, the
+        technology tables, or the model in place."""
+        self._paths.clear()
+        self._trees.clear()
+        self._delay_cache.clear()
+        self._trigger_index.clear()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        perf = self._run_perf if self._run_perf is not None else self.perf
+        perf.incr(name, amount)
 
     # ------------------------------------------------------------------
 
@@ -195,39 +303,83 @@ class TimingAnalyzer:
         number, shorthand for "both edges at that time, step slope").
         Every primary input of the network must be covered.
         """
-        arrivals: Dict[Event, Arrival] = {}
-        normalized = self._normalize_inputs(inputs)
-        dirty: List[Stage] = []
-        seen_dirty = set()
+        perf = PerfCounters()
+        self._run_perf = perf
+        try:
+            with perf.timer("analyze"):
+                arrivals = self._propagate(inputs, perf)
+        finally:
+            self._run_perf = None
+            self.perf.merge(perf)
+        return TimingResult(network=self.network,
+                            model_name=self.model.name, arrivals=arrivals,
+                            perf=perf)
 
-        def mark(node: str) -> None:
-            for stage in self.graph.affected_stages(node):
-                if stage.index not in seen_dirty:
-                    seen_dirty.add(stage.index)
-                    dirty.append(stage)
+    def _propagate(self, inputs: Mapping[str, Union[InputSpec, float]],
+                   perf: PerfCounters) -> Dict[Event, Arrival]:
+        arrivals: Dict[Event, Arrival] = {}
+        ranks: Dict[Event, Tuple[int, int]] = {}
+        normalized = self._normalize_inputs(inputs)
+
+        stages = self.graph.stages
+        levels = self.graph.levels()
+        pending: Dict[int, Set[Event]] = {}
+        scheduled: Dict[int, Tuple[int, float]] = {}
+        heap: List[Tuple[int, float, int]] = []
+        evaluated: Set[int] = set()
+
+        # Priority: topological level first (a stage pops only after every
+        # acyclic predecessor has settled — single-visit convergence on
+        # feed-forward logic), earliest pending arrival time as tie-break
+        # within a level.
+        def schedule(event: Event, time: float) -> None:
+            for stage in self.graph.affected_stages(event.node):
+                index = stage.index
+                pending.setdefault(index, set()).add(event)
+                priority = (levels[index], time)
+                best = scheduled.get(index)
+                if best is None or priority < best:
+                    scheduled[index] = priority
+                    heapq.heappush(heap, (priority[0], priority[1], index))
+                    perf.incr("worklist_pushes")
 
         for name, spec in normalized.items():
-            for transition in Transition:
+            for transition in _TRANSITIONS:
                 time = spec.arrival(transition)
                 if time is None:
                     continue
-                arrivals[Event(name, transition)] = Arrival(
-                    time=time, slope=spec.slope)
-            mark(name)
+                event = Event(name, transition)
+                arrivals[event] = Arrival(time=time, slope=spec.slope)
+                ranks[event] = _PRIMARY_RANK
+                schedule(event, time)
 
         visits: Dict[int, int] = {}
-        while dirty:
-            stage = dirty.pop(0)
-            seen_dirty.discard(stage.index)
-            visits[stage.index] = visits.get(stage.index, 0) + 1
-            if visits[stage.index] > self.MAX_STAGE_VISITS:
+        while heap:
+            level, time, index = heapq.heappop(heap)
+            if scheduled.get(index) == (level, time):
+                del scheduled[index]
+            events = pending.get(index)
+            if not events:
+                perf.incr("worklist_stale_pops")
+                continue
+            del pending[index]
+            stage = stages[index]
+            visits[index] = visits.get(index, 0) + 1
+            if visits[index] > self.MAX_STAGE_VISITS:
                 nodes = ", ".join(sorted(stage.internal_nodes))
                 raise TimingError(f"timing loop through stage [{nodes}]")
-            for changed_node in self._evaluate_stage(stage, arrivals):
-                mark(changed_node)
-
-        return TimingResult(network=self.network,
-                            model_name=self.model.name, arrivals=arrivals)
+            perf.incr("stage_visits")
+            if self.incremental and index in evaluated:
+                perf.incr("stage_incremental_evals")
+                changed = self._evaluate_incremental(stage, events, arrivals,
+                                                     ranks)
+            else:
+                evaluated.add(index)
+                perf.incr("stage_full_evals")
+                changed = self._evaluate_full(stage, arrivals, ranks)
+            for event in changed:
+                schedule(event, arrivals[event].time)
+        return arrivals
 
     # ------------------------------------------------------------------
 
@@ -250,41 +402,81 @@ class TimingAnalyzer:
             )
         return normalized
 
+    # -- static caches --------------------------------------------------
+
     def _stage_paths(self, stage: Stage, node: str,
                      transition: Transition) -> List[SensitizedPath]:
         key = (stage.index, node, transition)
-        if key not in self._paths:
-            self._paths[key] = enumerate_paths(
+        paths = self._paths.get(key)
+        if paths is None:
+            self._count("path_enumerations")
+            paths = enumerate_paths(
                 self.network, stage, node, transition, self.states)
-        return self._paths[key]
+            self._paths[key] = paths
+        return paths
 
     def _tree_for(self, stage: Stage, path: SensitizedPath,
                   order: int) -> RCTree:
         key = (stage.index, path.target, path.transition, order)
-        if key not in self._trees:
-            self._trees[key] = build_tree(self.network, stage, path,
-                                          states=self.states)
-        return self._trees[key]
+        tree = self._trees.get(key)
+        if tree is None:
+            self._count("tree_builds")
+            tree = build_tree(self.network, stage, path, states=self.states)
+            self._trees[key] = tree
+        return tree
 
-    def _evaluate_stage(self, stage: Stage,
-                        arrivals: Dict[Event, Arrival]) -> List[str]:
-        """Recompute every internal-node arrival; return changed nodes."""
-        changed: List[str] = []
-        for node in sorted(stage.internal_nodes):
-            for transition in Transition:
-                if not self._event_allowed(node, transition):
-                    continue
-                best = self._best_arrival(stage, node, transition, arrivals)
-                if best is None:
-                    continue
-                event = Event(node, transition)
-                current = arrivals.get(event)
-                if current is not None and not self._is_later(best, current):
-                    continue
-                arrivals[event] = best
-                if node not in changed:
-                    changed.append(node)
-        return changed
+    def _trigger_index_for(self, stage: Stage
+                           ) -> Dict[Event, List[_IndexEntry]]:
+        index = self._trigger_index.get(stage.index)
+        if index is None:
+            index = {}
+            for node in sorted(stage.internal_nodes):
+                for transition in _TRANSITIONS:
+                    if not self._event_allowed(node, transition):
+                        continue
+                    paths = self._stage_paths(stage, node, transition)
+                    for order, path in enumerate(paths):
+                        for pos, trigger in enumerate(path.triggers):
+                            event = Event(trigger.input_node,
+                                          trigger.input_transition)
+                            index.setdefault(event, []).append(_IndexEntry(
+                                node, transition, order, pos, path, trigger))
+            self._trigger_index[stage.index] = index
+        return index
+
+    # -- memoized delay evaluation --------------------------------------
+
+    def _quantize_slope(self, slope: float) -> float:
+        if self.slope_quantum <= 0.0 or slope <= 0.0:
+            return slope
+        step = math.log1p(self.slope_quantum)
+        return math.exp(round(math.log(slope) / step) * step)
+
+    def _stage_delay(self, stage: Stage, path: SensitizedPath, order: int,
+                     trigger: Trigger, input_slope: float) -> StageDelay:
+        slope = self._quantize_slope(max(input_slope, 0.0))
+        key = (stage.index, path.target, path.transition, order,
+               trigger.device_kind, slope)
+        cached = self._delay_cache.get(key)
+        if cached is not None:
+            self._count("model_cache_hits")
+            return cached
+        self._count("model_cache_misses")
+        tree = self._tree_for(stage, path, order)
+        request = StageRequest(
+            tree=tree,
+            target=path.target,
+            transition=path.transition,
+            trigger_kind=trigger.device_kind,
+            input_slope=slope,
+            tech=self.network.tech,
+        )
+        self._count("model_evals")
+        result = self.model.evaluate(request)
+        self._delay_cache[key] = result
+        return result
+
+    # -- event admission ------------------------------------------------
 
     def _event_allowed(self, node: str, transition: Transition) -> bool:
         """Can (node, transition) occur at all under the supplied states?
@@ -305,42 +497,124 @@ class TimingAnalyzer:
                 return False
         return True
 
-    @staticmethod
-    def _is_later(candidate: Arrival, current: Arrival) -> bool:
-        scale = max(abs(candidate.time), abs(current.time), 1e-30)
-        return candidate.time > current.time + _RELATIVE_EPSILON * scale
+    # -- candidate comparison -------------------------------------------
 
-    def _best_arrival(self, stage: Stage, node: str, transition: Transition,
-                      arrivals: Dict[Event, Arrival]) -> Optional[Arrival]:
-        best: Optional[Arrival] = None
-        for order, path in enumerate(self._stage_paths(stage, node,
-                                                       transition)):
-            for trigger in path.triggers:
-                event = Event(trigger.input_node, trigger.input_transition)
-                upstream = arrivals.get(event)
-                if upstream is None:
+    @staticmethod
+    def _beats(candidate: Arrival, candidate_rank: Tuple[int, int],
+               current: Arrival, current_rank: Tuple[int, int]) -> bool:
+        """Does *candidate* displace *current*?
+
+        Strictly later (beyond the relative epsilon) always wins; within
+        the epsilon the smaller canonical rank wins, which makes the
+        fixpoint independent of evaluation order.
+        """
+        scale = max(abs(candidate.time), abs(current.time), 1e-30)
+        margin = _RELATIVE_EPSILON * scale
+        if candidate.time > current.time + margin:
+            return True
+        if candidate.time < current.time - margin:
+            return False
+        return candidate_rank < current_rank
+
+    def _candidate(self, stage: Stage, path: SensitizedPath, order: int,
+                   trigger_pos: int, trigger: Trigger,
+                   arrivals: Dict[Event, Arrival]
+                   ) -> Optional[Tuple[Arrival, Tuple[int, int]]]:
+        """The arrival this (path, trigger) pair currently implies."""
+        event = Event(trigger.input_node, trigger.input_transition)
+        upstream = arrivals.get(event)
+        if upstream is None:
+            return None
+        self._count("candidates")
+        result = self._stage_delay(stage, path, order, trigger,
+                                   upstream.slope)
+        arrival = Arrival(
+            time=upstream.time + result.delay,
+            slope=result.output_slope,
+            cause=event,
+            stage_delay=result,
+            path=path,
+            trigger=trigger,
+        )
+        return arrival, (order, trigger_pos)
+
+    # -- stage evaluation -----------------------------------------------
+
+    def _commit(self, event: Event, best: Arrival, rank: Tuple[int, int],
+                arrivals: Dict[Event, Arrival],
+                ranks: Dict[Event, Tuple[int, int]]) -> bool:
+        current = arrivals.get(event)
+        if current is not None and not self._beats(
+                best, rank, current, ranks.get(event, _PRIMARY_RANK)):
+            return False
+        arrivals[event] = best
+        ranks[event] = rank
+        self._count("arrival_updates")
+        return True
+
+    def _evaluate_full(self, stage: Stage, arrivals: Dict[Event, Arrival],
+                       ranks: Dict[Event, Tuple[int, int]]) -> List[Event]:
+        """Recompute every internal-node arrival; return changed events."""
+        changed: List[Event] = []
+        for node in sorted(stage.internal_nodes):
+            for transition in _TRANSITIONS:
+                if not self._event_allowed(node, transition):
                     continue
-                tree = self._tree_for(stage, path, order)
-                request = StageRequest(
-                    tree=tree,
-                    target=node,
-                    transition=transition,
-                    trigger_kind=trigger.device_kind,
-                    input_slope=max(upstream.slope, 0.0),
-                    tech=self.network.tech,
-                )
-                result = self.model.evaluate(request)
-                candidate = Arrival(
-                    time=upstream.time + result.delay,
-                    slope=result.output_slope,
-                    cause=event,
-                    stage_delay=result,
-                    path=path,
-                    trigger=trigger,
-                )
-                if best is None or candidate.time > best.time:
-                    best = candidate
-        return best
+                best: Optional[Arrival] = None
+                best_rank = _PRIMARY_RANK
+                paths = self._stage_paths(stage, node, transition)
+                for order, path in enumerate(paths):
+                    for pos, trigger in enumerate(path.triggers):
+                        made = self._candidate(stage, path, order, pos,
+                                               trigger, arrivals)
+                        if made is None:
+                            continue
+                        arrival, rank = made
+                        if best is None or self._beats(arrival, rank,
+                                                       best, best_rank):
+                            best, best_rank = arrival, rank
+                if best is None:
+                    continue
+                event = Event(node, transition)
+                if self._commit(event, best, best_rank, arrivals, ranks):
+                    changed.append(event)
+        return changed
+
+    def _evaluate_incremental(self, stage: Stage, events: Set[Event],
+                              arrivals: Dict[Event, Arrival],
+                              ranks: Dict[Event, Tuple[int, int]]
+                              ) -> List[Event]:
+        """Re-evaluate only the candidates fed by *events*."""
+        index = self._trigger_index_for(stage)
+        by_target: Dict[Event, List[_IndexEntry]] = {}
+        for event in sorted(events, key=lambda e: (
+                e.node, _TRANSITION_ORDER[e.transition])):
+            for entry in index.get(event, ()):
+                target = Event(entry.node, entry.transition)
+                by_target.setdefault(target, []).append(entry)
+
+        changed: List[Event] = []
+        for target in sorted(by_target, key=lambda e: (
+                e.node, _TRANSITION_ORDER[e.transition])):
+            entries = sorted(by_target[target],
+                             key=lambda e: (e.order, e.trigger_pos))
+            best: Optional[Arrival] = None
+            best_rank = _PRIMARY_RANK
+            for entry in entries:
+                made = self._candidate(stage, entry.path, entry.order,
+                                       entry.trigger_pos, entry.trigger,
+                                       arrivals)
+                if made is None:
+                    continue
+                arrival, rank = made
+                if best is None or self._beats(arrival, rank, best,
+                                               best_rank):
+                    best, best_rank = arrival, rank
+            if best is None:
+                continue
+            if self._commit(target, best, best_rank, arrivals, ranks):
+                changed.append(target)
+        return changed
 
 
 def analyze(network: Network, inputs: Mapping[str, Union[InputSpec, float]],

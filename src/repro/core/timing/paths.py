@@ -161,17 +161,7 @@ def enumerate_paths(network: Network, stage: Stage, target: str,
             f"node {target!r} is not internal to stage {stage.index}"
         )
 
-    adjacency: Dict[str, List[Tuple[Element, str]]] = {}
-
-    def connect(element: Element, a: str, b: str) -> None:
-        adjacency.setdefault(a, []).append((element, b))
-        adjacency.setdefault(b, []).append((element, a))
-
-    for device in stage.transistors:
-        if _may_conduct(device, states):
-            connect(device, device.source, device.drain)
-    for res in stage.resistors:
-        connect(res, res.node_a, res.node_b)
+    adjacency = _conducting_adjacency(stage, states)
 
     raw_paths: List[Tuple[str, Tuple[PathElement, ...]]] = []
 
@@ -196,11 +186,15 @@ def enumerate_paths(network: Network, stage: Stage, target: str,
 
     dfs(target, {target}, [])
 
+    # Reachability answers are identical across the paths of one call, so
+    # share one memo (keyed on excluded device + start node) between them.
+    reach_cache: Dict[Tuple[str, str], Set[str]] = {}
+
     results: List[SensitizedPath] = []
     for source, elements in raw_paths:
         # Reorder hops from source to target (dfs built them backwards).
         triggers = _triggers_for(network, stage, source, elements,
-                                 transition, states)
+                                 transition, states, adjacency, reach_cache)
         if not triggers:
             continue
         results.append(SensitizedPath(
@@ -214,9 +208,31 @@ def enumerate_paths(network: Network, stage: Stage, target: str,
     return results
 
 
+def _conducting_adjacency(stage: Stage, states: Optional[StateMap]
+                          ) -> Dict[str, List[Tuple[Element, str]]]:
+    """Node -> [(element, neighbor)] over possibly-conducting elements,
+    built once per (stage, states) traversal instead of rescanning the
+    stage's device list for every visited node."""
+    adjacency: Dict[str, List[Tuple[Element, str]]] = {}
+
+    def connect(element: Element, a: str, b: str) -> None:
+        adjacency.setdefault(a, []).append((element, b))
+        adjacency.setdefault(b, []).append((element, a))
+
+    for device in stage.transistors:
+        if _may_conduct(device, states):
+            connect(device, device.source, device.drain)
+    for res in stage.resistors:
+        connect(res, res.node_a, res.node_b)
+    return adjacency
+
+
 def _triggers_for(network: Network, stage: Stage, source: str,
                   elements: Sequence[PathElement], transition: Transition,
-                  states: Optional[StateMap]) -> List[Trigger]:
+                  states: Optional[StateMap],
+                  adjacency: Dict[str, List[Tuple[Element, str]]],
+                  reach_cache: Dict[Tuple[str, str], Set[str]]
+                  ) -> List[Trigger]:
     triggers: Dict[Tuple[str, Transition], Trigger] = {}
 
     path_devices = [e.element for e in elements if e.is_transistor]
@@ -288,7 +304,7 @@ def _triggers_for(network: Network, stage: Stage, source: str,
             # storage node fails this and is correctly ignored.)
             target = elements[-1].to_node if elements else source
             if not _bridges_opposition(network, stage, device, target,
-                                       transition, states):
+                                       transition, adjacency, reach_cache):
                 continue
             event = (gate, _turn_off_transition(device.kind))
             triggers.setdefault(event, Trigger(
@@ -300,39 +316,35 @@ def _triggers_for(network: Network, stage: Stage, source: str,
     return list(triggers.values())
 
 
-def _reachable_without(network: Network, stage: Stage, start: str,
-                       excluded: Transistor,
-                       states: Optional[StateMap]) -> Set[str]:
+def _reachable_without(stage: Stage, start: str, excluded: Transistor,
+                       adjacency: Dict[str, List[Tuple[Element, str]]],
+                       reach_cache: Dict[Tuple[str, str], Set[str]]
+                       ) -> Set[str]:
     """Stage nodes (plus touched boundaries) reachable from *start*
     through possibly-conducting elements, never crossing *excluded*."""
+    key = (excluded.name, start)
+    cached = reach_cache.get(key)
+    if cached is not None:
+        return cached
     seen = {start}
     frontier = [start]
     while frontier:
         node = frontier.pop()
-        for device in stage.transistors:
-            if device.name == excluded.name or node not in device.channel:
+        for element, other in adjacency.get(node, ()):
+            if element.name == excluded.name:
                 continue
-            if not _may_conduct(device, states):
-                continue
-            other = device.other_channel_terminal(node)
             if other not in seen:
                 seen.add(other)
                 if other in stage.internal_nodes:
                     frontier.append(other)
-        for res in stage.resistors:
-            if node not in (res.node_a, res.node_b):
-                continue
-            other = res.other_terminal(node)
-            if other not in seen:
-                seen.add(other)
-                if other in stage.internal_nodes:
-                    frontier.append(other)
+    reach_cache[key] = seen
     return seen
 
 
 def _bridges_opposition(network: Network, stage: Stage, device: Transistor,
                         target: str, transition: Transition,
-                        states: Optional[StateMap]) -> bool:
+                        adjacency: Dict[str, List[Tuple[Element, str]]],
+                        reach_cache: Dict[Tuple[str, str], Set[str]]) -> bool:
     """Does turning *device* off release *target* from the opposite level?
 
     True when one channel terminal reaches the target and the other
@@ -340,10 +352,12 @@ def _bridges_opposition(network: Network, stage: Stage, device: Transistor,
     device itself."""
     opposite = transition.opposite
     for near, far in (device.channel, device.channel[::-1]):
-        near_reach = _reachable_without(network, stage, near, device, states)
+        near_reach = _reachable_without(stage, near, device, adjacency,
+                                        reach_cache)
         if target not in near_reach:
             continue
-        far_reach = _reachable_without(network, stage, far, device, states)
+        far_reach = _reachable_without(stage, far, device, adjacency,
+                                       reach_cache)
         if any(source_qualifies(network, node, opposite)
                for node in far_reach):
             return True
@@ -372,30 +386,35 @@ def _element_resistance(tech: Technology, element: Element,
                            element.length)
 
 
-def _merged_edge_resistance(network: Network, stage: Stage, element: Element,
+def _static_pair_index(stage: Stage, states: Optional[StateMap]
+                       ) -> Dict[FrozenSet[str], List[Element]]:
+    """Channel-node pair -> statically-conducting elements across it
+    (transistors that conduct without further events, plus resistors)."""
+    index: Dict[FrozenSet[str], List[Element]] = {}
+    for device in stage.transistors:
+        if _statically_on(device, states):
+            index.setdefault(frozenset(device.channel), []).append(device)
+    for res in stage.resistors:
+        index.setdefault(frozenset((res.node_a, res.node_b)),
+                         []).append(res)
+    return index
+
+
+def _merged_edge_resistance(network: Network, element: Element,
                             a: str, b: str, transition: Transition,
-                            states: Optional[StateMap]) -> float:
+                            pair_index: Dict[FrozenSet[str], List[Element]]
+                            ) -> float:
     """Resistance of the hop *element* between nodes a and b, merged in
     parallel with every *other* element across the same node pair that
     conducts in the analyzed state (a CMOS transmission gate is two such
     devices; Crystal merges them the same way)."""
     tech = network.tech
-    pair = frozenset((a, b))
+    name = getattr(element, "name", None)
     conductance = 1.0 / _element_resistance(tech, element, transition)
-    for device in stage.transistors:
-        if device.name == getattr(element, "name", None):
+    for other in pair_index.get(frozenset((a, b)), ()):
+        if other.name == name:
             continue
-        if frozenset(device.channel) != pair:
-            continue
-        if not _statically_on(device, states):
-            continue
-        conductance += 1.0 / _element_resistance(tech, device, transition)
-    for res in stage.resistors:
-        if res.name == getattr(element, "name", None):
-            continue
-        if frozenset((res.node_a, res.node_b)) != pair:
-            continue
-        conductance += 1.0 / res.resistance
+        conductance += 1.0 / _element_resistance(tech, other, transition)
     return 1.0 / conductance
 
 
@@ -404,12 +423,12 @@ def build_tree(network: Network, stage: Stage, path: SensitizedPath,
                include_branches: bool = True) -> RCTree:
     """The RC tree for a path: root at the source, the path as the trunk,
     and conducting side branches (their capacitance loads the path)."""
-    tech = network.tech
+    pair_index = _static_pair_index(stage, states)
     tree = RCTree(path.source)
     for hop in path.elements:
         resistance = _merged_edge_resistance(
-            network, stage, hop.element, hop.from_node, hop.to_node,
-            path.transition, states)
+            network, hop.element, hop.from_node, hop.to_node,
+            path.transition, pair_index)
         tree.add_edge(hop.from_node, hop.to_node, resistance)
         if hop.to_node in stage.internal_nodes:
             tree.add_cap(hop.to_node, effective_node_cap(network, hop.to_node))
@@ -421,37 +440,35 @@ def build_tree(network: Network, stage: Stage, path: SensitizedPath,
     # that conduct (statically), stopping at driven nodes and at nodes
     # already in the tree (re-convergent structures are approximated by
     # first-found attachment).
+    static_adjacency: Dict[str, List[Tuple[Element, str]]] = {}
+
+    def connect(element: Element, a: str, b: str) -> None:
+        static_adjacency.setdefault(a, []).append((element, b))
+        static_adjacency.setdefault(b, []).append((element, a))
+
+    for device in stage.transistors:
+        if _statically_on(device, states):
+            connect(device, device.source, device.drain)
+    for res in stage.resistors:
+        connect(res, res.node_a, res.node_b)
+
     frontier = [n for n in path.nodes if n in stage.internal_nodes]
     seen = set(tree.nodes)
     while frontier:
         node = frontier.pop()
-        for element, neighbor in _conducting_neighbors(network, stage, node,
-                                                       states):
+        for element, neighbor in static_adjacency.get(node, ()):
             if neighbor in seen:
                 continue
             if neighbor not in stage.internal_nodes:
                 continue  # a rail or driven node terminates the branch
             resistance = _merged_edge_resistance(
-                network, stage, element, node, neighbor, path.transition,
-                states)
+                network, element, node, neighbor, path.transition,
+                pair_index)
             tree.add_edge(node, neighbor, resistance)
             tree.add_cap(neighbor, effective_node_cap(network, neighbor))
             seen.add(neighbor)
             frontier.append(neighbor)
     return tree
-
-
-def _conducting_neighbors(network: Network, stage: Stage, node: str,
-                          states: Optional[StateMap]):
-    for device in stage.transistors:
-        if node not in device.channel:
-            continue
-        if not _statically_on(device, states):
-            continue
-        yield device, device.other_channel_terminal(node)
-    for res in stage.resistors:
-        if node in (res.node_a, res.node_b):
-            yield res, res.other_terminal(node)
 
 
 def build_request(network: Network, stage: Stage, path: SensitizedPath,

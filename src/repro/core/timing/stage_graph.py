@@ -5,12 +5,22 @@ channel-connected regions can only share a supply or a driven node), so
 the stage graph has an edge S → T whenever an internal node of S gates a
 transistor of T.  Driven inputs additionally fan out to every stage they
 either gate or touch as a channel boundary (pass chains).
+
+The graph also exposes a topological *levelization*: ``level(stage)`` is
+the length of the longest predecessor chain feeding the stage.  The
+analyzer's priority worklist pops stages in level order, which on
+feed-forward logic means every stage is visited after all of its inputs
+have settled — the classic levelized discipline that makes worst-case
+(longest-path) propagation converge in one pass.  Stages on feedback
+cycles cannot be levelized; they are assigned a level after every acyclic
+stage and the analyzer's fixpoint iteration handles them.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional
 
 from ...netlist import Network
 from ...netlist.stages import Stage, StageMap
@@ -18,11 +28,14 @@ from ...netlist.stages import Stage, StageMap
 
 @dataclass
 class StageGraph:
-    """Sensitivity and successor maps over a network's stages."""
+    """Sensitivity, successor, and level maps over a network's stages."""
 
     stage_map: StageMap
     #: node name -> stages that must be re-evaluated when the node changes
     sensitivity: Dict[str, List[Stage]] = field(default_factory=dict)
+    #: stage index -> successor stages, built once (stages are static)
+    _successors: Dict[int, List[Stage]] = field(default_factory=dict)
+    _levels: Optional[Dict[int, int]] = None
 
     @classmethod
     def build(cls, network: Network) -> "StageGraph":
@@ -41,33 +54,90 @@ class StageGraph:
         return list(self.sensitivity.get(node, ()))
 
     def successors(self, stage: Stage) -> List[Stage]:
-        """Stages fed by this stage's internal nodes."""
-        seen: Set[int] = set()
-        out: List[Stage] = []
-        for node in stage.internal_nodes:
-            for successor in self.sensitivity.get(node, ()):
-                if successor.index not in seen:
-                    seen.add(successor.index)
-                    out.append(successor)
-        return out
+        """Stages fed by this stage's internal nodes (cached)."""
+        cached = self._successors.get(stage.index)
+        if cached is None:
+            seen = set()
+            cached = []
+            for node in stage.internal_nodes:
+                for successor in self.sensitivity.get(node, ()):
+                    if successor.index not in seen:
+                        seen.add(successor.index)
+                        cached.append(successor)
+            self._successors[stage.index] = cached
+        return list(cached)
+
+    # -- levelization --------------------------------------------------
+
+    def levels(self) -> Dict[int, int]:
+        """Longest-predecessor-chain level per stage index.
+
+        Kahn's algorithm over the stage graph (self-edges ignored); any
+        stage left over sits on a feedback cycle and is assigned one level
+        past the deepest acyclic stage, preserving a deterministic order.
+        """
+        if self._levels is not None:
+            return self._levels
+        indegree: Dict[int, int] = {s.index: 0 for s in self.stages}
+        for stage in self.stages:
+            for successor in self.successors(stage):
+                if successor.index != stage.index:
+                    indegree[successor.index] += 1
+        tentative: Dict[int, int] = {s.index: 0 for s in self.stages}
+        level: Dict[int, int] = {}
+        ready = deque(sorted(i for i, d in indegree.items() if d == 0))
+        for index in ready:
+            level[index] = 0
+        while ready:
+            index = ready.popleft()
+            for successor in self.successors(self.stages[index]):
+                succ = successor.index
+                if succ == index or succ in level:
+                    continue
+                tentative[succ] = max(tentative[succ], level[index] + 1)
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    level[succ] = tentative[succ]
+                    ready.append(succ)
+        if len(level) < len(indegree):
+            # Feedback cycles (and everything downstream of them): one
+            # level past the deepest acyclic stage, fixpoint handles them.
+            overflow = 1 + max(level.values(), default=0)
+            for index in sorted(indegree):
+                level.setdefault(index, overflow)
+        self._levels = level
+        return level
+
+    def level(self, stage: Stage) -> int:
+        return self.levels()[stage.index]
 
     def has_feedback(self) -> bool:
         """True when the stage graph contains a cycle (latches, flip-flops,
-        oscillators) — the analyzer then needs its iteration cap."""
+        oscillators) — the analyzer then needs its iteration cap.
+
+        Iterative three-color DFS (an explicit stack; deep feed-forward
+        chains must not hit the Python recursion limit)."""
+        WHITE, GRAY, BLACK = 0, 1, 2
         color: Dict[int, int] = {}
-
-        def visit(stage: Stage) -> bool:
-            color[stage.index] = 1
-            for successor in self.successors(stage):
-                state = color.get(successor.index, 0)
-                if state == 1:
-                    return True
-                if state == 0 and visit(successor):
-                    return True
-            color[stage.index] = 2
-            return False
-
-        return any(
-            visit(stage) for stage in self.stages
-            if color.get(stage.index, 0) == 0
-        )
+        for start in self.stages:
+            if color.get(start.index, WHITE) != WHITE:
+                continue
+            stack = [(start, iter(self.successors(start)))]
+            color[start.index] = GRAY
+            while stack:
+                stage, children = stack[-1]
+                descended = False
+                for successor in children:
+                    state = color.get(successor.index, WHITE)
+                    if state == GRAY:
+                        return True
+                    if state == WHITE:
+                        color[successor.index] = GRAY
+                        stack.append(
+                            (successor, iter(self.successors(successor))))
+                        descended = True
+                        break
+                if not descended:
+                    color[stage.index] = BLACK
+                    stack.pop()
+        return False

@@ -70,11 +70,16 @@ class _UnionFind:
         self._parent: Dict[str, str] = {}
 
     def find(self, item: str) -> str:
+        # Iterative with full path compression: long pass-transistor
+        # chains otherwise recurse past Python's stack limit.
         parent = self._parent.setdefault(item, item)
-        if parent != item:
-            parent = self.find(parent)
-            self._parent[item] = parent
-        return parent
+        root = item
+        while parent != root:
+            root = parent
+            parent = self._parent[root]
+        while item != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
 
     def union(self, a: str, b: str) -> None:
         ra, rb = self.find(a), self.find(b)
@@ -92,86 +97,83 @@ def decompose_stages(network: Network) -> List[Stage]:
     driven = set(network.externally_driven())
     uf = _UnionFind()
 
-    def is_boundary(node: str) -> bool:
-        return node in driven
-
-    edges: List[Tuple[str, str]] = []
+    # Pass 1: union internal nodes across channels/resistors.
     for device in network.transistors:
-        edges.append((device.source, device.drain))
+        a, b = device.source, device.drain
+        if a not in driven and b not in driven:
+            uf.union(a, b)
     for res in network.resistors:
-        edges.append((res.node_a, res.node_b))
-
-    for a, b in edges:
-        if not is_boundary(a):
-            uf.find(a)
-        if not is_boundary(b):
-            uf.find(b)
-        if not is_boundary(a) and not is_boundary(b):
+        a, b = res.node_a, res.node_b
+        if a not in driven and b not in driven:
             uf.union(a, b)
 
-    # Group internal nodes by root.
-    groups: Dict[str, Set[str]] = {}
-    for device in network.transistors:
-        for node in device.channel:
-            if not is_boundary(node):
-                groups.setdefault(uf.find(node), set()).add(node)
-    for res in network.resistors:
-        for node in (res.node_a, res.node_b):
-            if not is_boundary(node):
-                groups.setdefault(uf.find(node), set()).add(node)
-
+    # Pass 2: bucket every device and resistor under its region's root in
+    # one sweep (the old build rescanned all devices once per stage, an
+    # O(stages x devices) cost that dominated on decoder/PLA topologies).
+    group_nodes: Dict[str, Set[str]] = {}
+    group_transistors: Dict[str, List[Transistor]] = {}
+    group_resistors: Dict[str, List[Resistor]] = {}
+    group_boundary: Dict[str, Set[str]] = {}
+    group_gates: Dict[str, Set[str]] = {}
     # An edge entirely between boundary nodes (e.g. a pass transistor
     # directly bridging two primary inputs) forms a degenerate stage with
-    # no internal nodes; collect those separately.
-    degenerate: List[Tuple[str, str]] = [
-        (a, b) for a, b in edges if is_boundary(a) and is_boundary(b)
-    ]
+    # no internal nodes; collect those separately, in device order.
+    degenerate: List[Tuple[str, str]] = []
+    pair_transistors: Dict[FrozenSet[str], List[Transistor]] = {}
+    pair_resistors: Dict[FrozenSet[str], List[Resistor]] = {}
+
+    def bucket(nodes: Tuple[str, str]):
+        internal = [n for n in nodes if n not in driven]
+        if not internal:
+            return None
+        root = uf.find(internal[0])
+        group_nodes.setdefault(root, set()).update(internal)
+        if len(internal) < 2:
+            boundary = group_boundary.setdefault(root, set())
+            for node in nodes:
+                if node in driven:
+                    boundary.add(node)
+        return root
+
+    for device in network.transistors:
+        channel = device.channel
+        root = bucket(channel)
+        if root is None:
+            degenerate.append(channel)
+            pair_transistors.setdefault(frozenset(channel), []).append(device)
+            continue
+        group_transistors.setdefault(root, []).append(device)
+        group_gates.setdefault(root, set()).add(device.gate)
+    for res in network.resistors:
+        ends = (res.node_a, res.node_b)
+        root = bucket(ends)
+        if root is None:
+            degenerate.append(ends)
+            pair_resistors.setdefault(frozenset(ends), []).append(res)
+            continue
+        group_resistors.setdefault(root, []).append(res)
 
     stages: List[Stage] = []
-    for root in sorted(groups, key=lambda r: sorted(groups[r])[0]):
-        members = groups[root]
-        transistors = []
-        resistors = []
-        boundary: Set[str] = set()
-        gates: Set[str] = set()
-        for device in network.transistors:
-            touched = [n for n in device.channel if n in members]
-            if touched:
-                transistors.append(device)
-                gates.add(device.gate)
-                for node in device.channel:
-                    if is_boundary(node):
-                        boundary.add(node)
-        for res in network.resistors:
-            touched = [n for n in (res.node_a, res.node_b) if n in members]
-            if touched:
-                resistors.append(res)
-                for node in (res.node_a, res.node_b):
-                    if is_boundary(node):
-                        boundary.add(node)
+    for root in sorted(group_nodes, key=lambda r: min(group_nodes[r])):
         stages.append(Stage(
             index=len(stages),
-            internal_nodes=frozenset(members),
-            transistors=tuple(sorted(transistors, key=lambda d: d.name)),
-            resistors=tuple(sorted(resistors, key=lambda r: r.name)),
-            boundary_nodes=frozenset(boundary),
-            gate_inputs=frozenset(gates),
+            internal_nodes=frozenset(group_nodes[root]),
+            transistors=tuple(sorted(group_transistors.get(root, ()),
+                                     key=lambda d: d.name)),
+            resistors=tuple(sorted(group_resistors.get(root, ()),
+                                   key=lambda r: r.name)),
+            boundary_nodes=frozenset(group_boundary.get(root, ())),
+            gate_inputs=frozenset(group_gates.get(root, ())),
         ))
 
     for a, b in degenerate:
-        devices = tuple(
-            d for d in network.transistors
-            if frozenset(d.channel) == frozenset((a, b))
-        )
-        ress = tuple(
-            r for r in network.resistors
-            if frozenset((r.node_a, r.node_b)) == frozenset((a, b))
-        )
+        pair = frozenset((a, b))
+        devices = tuple(pair_transistors.get(pair, ()))
         stages.append(Stage(
             index=len(stages),
             internal_nodes=frozenset(),
             transistors=devices,
-            resistors=ress,
+            resistors=tuple(pair_resistors.get(pair, ())),
             boundary_nodes=frozenset((a, b)),
             gate_inputs=frozenset(d.gate for d in devices),
         ))

@@ -1,0 +1,129 @@
+"""Performance counters and timers for the timing engine.
+
+The incremental analyzer (and anything else that wants observability)
+increments named counters and wraps hot sections in named timers.  A
+:class:`PerfCounters` instance is cheap enough to keep always-on: an
+increment is one dict operation, a timer two ``perf_counter`` calls.
+
+Two instances are typically in play: a per-``analyze()`` snapshot stored
+on the :class:`~repro.core.timing.analyzer.TimingResult`, and a cumulative
+one on the :class:`~repro.core.timing.analyzer.TimingAnalyzer` that merges
+every run (so cross-run cache behaviour is visible too).
+
+Counter names are free-form strings; the timing engine uses the
+:data:`STANDARD_COUNTERS` vocabulary so tables line up across tools.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+#: Counters the timing engine emits, in display order, with a short gloss.
+STANDARD_COUNTERS: Dict[str, str] = {
+    "stage_visits": "worklist pops that evaluated a stage",
+    "stage_full_evals": "stages evaluated exhaustively (first visit / reference mode)",
+    "stage_incremental_evals": "stages re-evaluated for changed triggers only",
+    "worklist_pushes": "stage activations pushed on the worklist",
+    "worklist_stale_pops": "worklist pops with nothing pending (deduped)",
+    "candidates": "(path, trigger) delay candidates considered",
+    "model_evals": "actual delay-model evaluate() calls",
+    "model_cache_hits": "memoized stage-delay reuses",
+    "model_cache_misses": "memo misses (same as model_evals when cold)",
+    "arrival_updates": "arrival improvements committed",
+    "path_enumerations": "per-(stage, node, transition) path enumerations",
+    "tree_builds": "RC trees constructed",
+}
+
+
+@dataclass
+class PerfCounters:
+    """Named monotonic counters plus named accumulated wall-clock timers."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    timers: Dict[str, float] = field(default_factory=dict)
+
+    # -- counters -----------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # -- timers -------------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock time of the enclosed block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timers[name] = self.timers.get(name, 0.0) + elapsed
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def elapsed(self, name: str) -> float:
+        return self.timers.get(name, 0.0)
+
+    # -- aggregation --------------------------------------------------------
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold *other*'s counts and times into this instance."""
+        for name, value in other.counters.items():
+            self.incr(name, value)
+        for name, value in other.timers.items():
+            self.add_time(name, value)
+
+    def snapshot(self) -> "PerfCounters":
+        return PerfCounters(counters=dict(self.counters),
+                            timers=dict(self.timers))
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    # -- export -------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready ``{"counters": {...}, "timers": {...}}``."""
+        return {"counters": dict(self.counters),
+                "timers": {k: float(v) for k, v in self.timers.items()}}
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Model-memo hit fraction, or None before any lookup."""
+        hits = self.get("model_cache_hits")
+        misses = self.get("model_cache_misses")
+        total = hits + misses
+        return (hits / total) if total else None
+
+    def format_table(self, title: str = "perf counters") -> str:
+        """A fixed-width report, standard counters first."""
+        lines = [title, "-" * len(title)]
+        ordered = [n for n in STANDARD_COUNTERS if n in self.counters]
+        ordered += sorted(n for n in self.counters
+                          if n not in STANDARD_COUNTERS)
+        width = max((len(n) for n in ordered), default=0)
+        width = max(width, max((len(n) for n in self.timers), default=0))
+        for name in ordered:
+            lines.append(f"{name:<{width}}  {self.counters[name]:>12}")
+        rate = self.cache_hit_rate
+        if rate is not None:
+            lines.append(f"{'model cache hit rate':<{width}}  {rate:>11.1%}")
+        for name in sorted(self.timers):
+            lines.append(f"{name:<{width}}  {self.timers[name]:>11.6f}s")
+        return "\n".join(lines)
+
+
+def merge_all(parts: Mapping[str, PerfCounters]) -> PerfCounters:
+    """Union of several counter sets (e.g. one per analyzed scenario)."""
+    total = PerfCounters()
+    for part in parts.values():
+        total.merge(part)
+    return total

@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.perf` and the deep-structure code paths
+that used to rely on Python recursion (union-find ``find`` and
+``StageGraph.has_feedback``)."""
+
+import sys
+
+from repro.circuits import inverter_chain, pass_chain
+from repro.core.timing import TimingAnalyzer
+from repro.core.timing.stage_graph import StageGraph
+from repro.netlist.stages import decompose_stages
+from repro.perf import STANDARD_COUNTERS, PerfCounters, merge_all
+from repro.tech import CMOS3
+
+
+class TestPerfCounters:
+    def test_incr_and_get(self):
+        perf = PerfCounters()
+        assert perf.get("stage_visits") == 0
+        perf.incr("stage_visits")
+        perf.incr("stage_visits", 4)
+        assert perf.get("stage_visits") == 5
+
+    def test_timer_accumulates(self):
+        perf = PerfCounters()
+        with perf.timer("analysis"):
+            pass
+        with perf.timer("analysis"):
+            pass
+        assert perf.elapsed("analysis") >= 0.0
+        assert perf.elapsed("missing") == 0.0
+
+    def test_snapshot_is_independent(self):
+        perf = PerfCounters()
+        perf.incr("model_evals", 3)
+        snap = perf.snapshot()
+        perf.incr("model_evals", 2)
+        assert snap.get("model_evals") == 3
+        assert perf.get("model_evals") == 5
+
+    def test_merge_and_merge_all(self):
+        a = PerfCounters()
+        a.incr("model_evals", 2)
+        b = PerfCounters()
+        b.incr("model_evals", 3)
+        b.incr("stage_visits")
+        a.merge(b)
+        assert a.get("model_evals") == 5
+        assert a.get("stage_visits") == 1
+        total = merge_all({"first": a, "second": b})
+        assert total.get("model_evals") == 8
+
+    def test_reset(self):
+        perf = PerfCounters()
+        perf.incr("candidates", 7)
+        perf.reset()
+        assert perf.get("candidates") == 0
+
+    def test_cache_hit_rate(self):
+        perf = PerfCounters()
+        assert perf.cache_hit_rate is None
+        perf.incr("model_cache_hits", 3)
+        perf.incr("model_cache_misses", 1)
+        assert perf.cache_hit_rate == 0.75
+
+    def test_format_table_mentions_standard_counters(self):
+        perf = PerfCounters()
+        for name in STANDARD_COUNTERS:
+            perf.incr(name)
+        table = perf.format_table("title")
+        assert "title" in table
+        assert "model_evals" in table
+
+    def test_as_dict_round_trip(self):
+        perf = PerfCounters()
+        perf.incr("worklist_pushes", 9)
+        data = perf.as_dict()
+        assert data["counters"]["worklist_pushes"] == 9
+
+
+class TestDeepStructures:
+    """Long chains that would overflow the old recursive implementations."""
+
+    def test_union_find_deep_chain(self):
+        depth = sys.getrecursionlimit() + 200
+        network = pass_chain(CMOS3, depth, driven=False)
+        stages = decompose_stages(network)
+        # The whole series chain collapses into one channel-connected stage.
+        big = max(stages, key=lambda s: len(s.transistors))
+        assert len(big.transistors) >= depth
+
+    def test_has_feedback_deep_chain(self):
+        depth = sys.getrecursionlimit() + 200
+        network = inverter_chain(CMOS3, depth)
+        graph = StageGraph.build(network)
+        assert graph.has_feedback() is False
+
+    def test_levels_deep_chain(self):
+        depth = sys.getrecursionlimit() + 200
+        network = inverter_chain(CMOS3, depth)
+        analyzer = TimingAnalyzer(network)
+        levels = analyzer.graph.levels()
+        assert len(levels) == len(analyzer.graph.stages)
+        assert max(levels.values()) >= depth - 1
