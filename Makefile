@@ -1,0 +1,36 @@
+# Entry points for the reproduction's test/bench tiers.
+#
+#   make test       tier-1: fast unit/property/integration tests
+#                   (the driver's gate; slow-marked tests deselected)
+#   make test-slow  the slow tier: analog golden-reference checks,
+#                   heavy seeded sweeps, end-to-end example runs
+#   make perf       the two perf-regression benches; each fails on a
+#                   >25% regression over its committed counter baseline
+#                   (BENCH_timing.json / BENCH_batch.json) or a 2x
+#                   wall-clock blowout over the historical best
+#   make check      all of the above, in cheapest-first order
+#   make bench      regenerate every paper table/figure (long)
+
+PYTHONPATH := src
+PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
+
+.PHONY: test test-slow perf check bench goldens
+
+test:
+	$(PYTEST) -x -q
+
+test-slow:
+	$(PYTEST) -q -m slow
+
+perf:
+	$(PYTEST) benchmarks/bench_perf_regression.py \
+	          benchmarks/bench_batch_sweep.py -q -s
+
+check: test test-slow perf
+
+bench:
+	$(PYTEST) benchmarks/ -q -s
+
+goldens:
+	PYTHONPATH=$(PYTHONPATH):. python tests/test_golden_reference.py \
+	          --regenerate

@@ -1,0 +1,135 @@
+"""Machine-readable trajectory for the batch scenario-sweep engine.
+
+Runs 64 seeded-random input vectors over the 32-bit ripple-carry adder
+two ways — one shared :class:`TimingAnalyzer` (``analyze_many``) versus
+64 fresh analyzers — and writes ``BENCH_batch.json`` next to this file:
+wall time and model-evaluation counts for both sides, the cache-sharing
+ratio, and a bounded history of previous runs.
+
+The run **fails** when
+
+* any per-scenario arrival differs between the shared and fresh runs
+  (the batch path must inherit the engine's equivalence guarantee), or
+* the shared analyzer needs less than 5× fewer model evaluations per
+  scenario than the fresh analyzers (the ISSUE-3 acceptance bar), or
+* the shared sweep's model-evaluation count regresses more than 25 %
+  over the committed baseline (deterministic, so a trip is a genuine
+  cache-sharing regression), or
+* the shared sweep's wall time exceeds twice the *best* sample in the
+  recorded history.  Wall time is noisy on shared machines, so only a
+  2x blowout over the historical best is treated as signal; set
+  ``REPRO_BENCH_NO_FAIL=1`` to record without enforcing the wall guard.
+  The counter gates always apply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.batch import RandomVectors
+from repro.bench import batch_runtime_comparison
+from repro.circuits import adder_input_names, ripple_carry_adder
+
+RESULT_FILE = pathlib.Path(__file__).parent / "BENCH_batch.json"
+
+#: Allowed shared-sweep model-eval growth over the baseline before failing.
+REGRESSION_TOLERANCE = 1.25
+
+#: Wall-clock guard: fail only beyond this multiple of the historical best.
+WALL_TOLERANCE = 2.0
+
+#: The ISSUE-3 acceptance bar: ≥5× fewer model evals per scenario.
+MIN_EVAL_RATIO = 5.0
+
+BITS = 32
+VECTORS = 64
+SEED = 1984
+SPAN = 2e-9
+SLOPE = 0.3e-9
+
+HISTORY_LIMIT = 50
+
+
+def test_batch_sweep(cmos_char, emit):
+    network = ripple_carry_adder(cmos_char, BITS)
+    source = RandomVectors(input_names=adder_input_names(BITS),
+                           count=VECTORS, seed=SEED, span=SPAN, slope=SLOPE)
+    vectors = [vector.inputs for vector in source]
+    row = batch_runtime_comparison(network, vectors)
+
+    lines = [
+        f"batch sweep (rca{BITS}, {VECTORS} random vectors, seed {SEED})",
+        f"{'side':<8} {'seconds':>9} {'evals':>9} {'evals/scn':>10}",
+        f"{'shared':<8} {row.shared_seconds:>9.3f} "
+        f"{row.shared_model_evals:>9} {row.shared_evals_per_scenario:>10.1f}",
+        f"{'fresh':<8} {row.fresh_seconds:>9.3f} "
+        f"{row.fresh_model_evals:>9} {row.fresh_evals_per_scenario:>10.1f}",
+        f"eval ratio: {row.eval_ratio:.1f}x fewer model evals per scenario",
+        f"wall speedup: {row.speedup:.1f}x",
+        f"bit-identical arrivals: {row.identical}",
+    ]
+    emit("batch_sweep", "\n".join(lines))
+
+    previous = None
+    history = []
+    if RESULT_FILE.exists():
+        recorded = json.loads(RESULT_FILE.read_text())
+        previous = recorded.get("batch", {})
+        history = recorded.get("history", [])
+
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "shared_seconds": row.shared_seconds,
+        "eval_ratio": row.eval_ratio,
+    })
+    payload = {
+        "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "batch": {
+            "circuit": f"rca{BITS}",
+            "scenarios": row.scenarios,
+            "shared_seconds": row.shared_seconds,
+            "fresh_seconds": row.fresh_seconds,
+            "shared_model_evals": row.shared_model_evals,
+            "fresh_model_evals": row.fresh_model_evals,
+            "eval_ratio": row.eval_ratio,
+            "identical": row.identical,
+            "shared_counters": row.shared_counters,
+        },
+        "history": history[-HISTORY_LIMIT:],
+    }
+    RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert row.identical, (
+        "shared-analyzer sweep diverged from the fresh-analyzer reference")
+    assert row.scenarios == VECTORS
+    assert row.eval_ratio >= MIN_EVAL_RATIO, (
+        f"cache sharing only saved {row.eval_ratio:.1f}x model evals per "
+        f"scenario (need >= {MIN_EVAL_RATIO:.0f}x)")
+
+    if previous:
+        # Deterministic gate: cache sharing must not regress.
+        recorded_evals = previous.get("shared_model_evals")
+        if recorded_evals:
+            assert (row.shared_model_evals
+                    <= recorded_evals * REGRESSION_TOLERANCE), (
+                f"shared sweep model evals regressed: "
+                f"{row.shared_model_evals} vs recorded baseline "
+                f"{recorded_evals} (>{REGRESSION_TOLERANCE:.0%})")
+
+        # Noise-tolerant wall guard against the historical best sample.
+        past_walls = [h.get("shared_seconds") for h in history[:-1]
+                      if h.get("shared_seconds")]
+        if past_walls and not os.environ.get("REPRO_BENCH_NO_FAIL"):
+            best = min(past_walls)
+            assert row.shared_seconds <= best * WALL_TOLERANCE, (
+                f"shared sweep wall time blew out: {row.shared_seconds:.3f}s "
+                f"vs historical best {best:.3f}s (>{WALL_TOLERANCE:.0f}x); "
+                "set REPRO_BENCH_NO_FAIL=1 to re-record on new hardware")

@@ -7,11 +7,15 @@ counters (stage visits, model evaluations, cache hit rate, worklist
 traffic) for every circuit, plus a bounded history of previous runs so
 future PRs can see the trend.
 
-The run **fails** when rca32 analysis regresses more than 25 % over the
-wall time recorded in the committed baseline.  Wall clocks differ across
-machines, so set ``REPRO_BENCH_NO_FAIL=1`` to record without enforcing
-(e.g. on a first run on new hardware); the counter columns are
-hardware-independent and always comparable.
+The run **fails** when rca32 regresses more than 25 % over the committed
+baseline on the hardware-independent counters (model evaluations, stage
+visits) — those are deterministic, so a trip is a genuine engine
+regression.  Wall time is noisy on shared machines (±30 % between
+back-to-back runs is common), so it is guarded loosely instead: the run
+also fails if rca32 wall time exceeds twice the *best* sample in the
+recorded history.  Set ``REPRO_BENCH_NO_FAIL=1`` to record without
+enforcing the wall guard (e.g. on a first run on slow hardware); the
+counter gate always applies.
 """
 
 from __future__ import annotations
@@ -27,8 +31,11 @@ from repro.core.timing import TimingAnalyzer
 
 RESULT_FILE = pathlib.Path(__file__).parent / "BENCH_timing.json"
 
-#: Allowed rca32 slowdown over the recorded baseline before failing.
+#: Allowed rca32 counter growth over the recorded baseline before failing.
 REGRESSION_TOLERANCE = 1.25
+
+#: Wall-clock guard: fail only beyond this multiple of the historical best.
+WALL_TOLERANCE = 2.0
 
 #: Best-of-N timing to tame scheduler noise.
 REPEATS = 3
@@ -108,10 +115,27 @@ def test_perf_regression(cmos_char, emit):
             assert counter in row["counters"], (name, counter)
 
     if previous and "rca32" in previous:
-        baseline = previous["rca32"].get("analyzer_seconds")
+        # Deterministic gate: the engine's counters must not regress.
+        baseline_counters = previous["rca32"].get("counters", {})
+        current_counters = circuits["rca32"]["counters"]
+        for counter in ("model_evals", "stage_visits"):
+            recorded = baseline_counters.get(counter)
+            if recorded:
+                assert (current_counters[counter]
+                        <= recorded * REGRESSION_TOLERANCE), (
+                    f"rca32 {counter} regressed: {current_counters[counter]} "
+                    f"vs recorded baseline {recorded} "
+                    f"(>{REGRESSION_TOLERANCE:.0%})")
+
+        # Noise-tolerant wall guard: only the historical best is a stable
+        # reference point on a shared machine, and only a 2x blowout is
+        # signal rather than scheduler jitter.
+        past_walls = [h.get("rca32_seconds") for h in history[:-1]
+                      if h.get("rca32_seconds")]
         current = circuits["rca32"]["analyzer_seconds"]
-        if baseline and not os.environ.get("REPRO_BENCH_NO_FAIL"):
-            assert current <= baseline * REGRESSION_TOLERANCE, (
-                f"rca32 analysis regressed: {current:.3f}s vs recorded "
-                f"baseline {baseline:.3f}s (>{REGRESSION_TOLERANCE:.0%}); "
-                "set REPRO_BENCH_NO_FAIL=1 to re-record on new hardware")
+        if past_walls and not os.environ.get("REPRO_BENCH_NO_FAIL"):
+            best = min(past_walls)
+            assert current <= best * WALL_TOLERANCE, (
+                f"rca32 analysis wall time blew out: {current:.3f}s vs "
+                f"historical best {best:.3f}s (>{WALL_TOLERANCE:.0f}x); set "
+                "REPRO_BENCH_NO_FAIL=1 to re-record on new hardware")

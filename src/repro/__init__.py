@@ -39,6 +39,7 @@ from .errors import (
     ParseError,
     ReproError,
     SimulationError,
+    SweepError,
     TechnologyError,
     TimingError,
     ValidationError,
@@ -71,14 +72,24 @@ from .circuits import (
     ripple_carry_adder,
     xor_gate,
 )
+from .batch import (
+    CartesianSweep,
+    ExplicitVectors,
+    RandomVectors,
+    SweepResult,
+    Vector,
+    load_vector_file,
+    run_scenarios,
+    run_sweep,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     # errors
     "AnalysisError", "ConvergenceError", "MeasurementError", "NetlistError",
-    "ParseError", "ReproError", "SimulationError", "TechnologyError",
-    "TimingError", "ValidationError",
+    "ParseError", "ReproError", "SimulationError", "SweepError",
+    "TechnologyError", "TimingError", "ValidationError",
     # tech
     "CMOS3", "NMOS4", "DeviceKind", "Technology", "Transition",
     # netlist
@@ -97,5 +108,8 @@ __all__ = [
     "Gates", "bootstrap_driver", "full_adder", "inverter_chain",
     "nand_gate", "nor_gate", "pass_chain", "precharged_bus",
     "ripple_carry_adder", "xor_gate",
+    # batch sweeps
+    "CartesianSweep", "ExplicitVectors", "RandomVectors", "SweepResult",
+    "Vector", "load_vector_file", "run_scenarios", "run_sweep",
     "__version__",
 ]

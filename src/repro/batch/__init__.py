@@ -1,0 +1,37 @@
+"""Batch scenario sweeps: many input vectors, one shared analyzer.
+
+The subsystem behind the ``sweep`` CLI subcommand (see DESIGN.md §5b):
+vector sources (:mod:`repro.batch.vectors`), the cache-sharing sweep
+engine (:mod:`repro.batch.sweep`), and the summary/profile reports
+(:mod:`repro.batch.report`).
+"""
+
+from .vectors import (
+    CartesianSweep,
+    ExplicitVectors,
+    RandomVectors,
+    Vector,
+    VectorSource,
+    load_vector_file,
+    parse_timing_token,
+    parse_vector_line,
+)
+from .sweep import ScenarioOutcome, SweepResult, run_scenarios, run_sweep
+from .report import format_sweep_profile, format_sweep_summary
+
+__all__ = [
+    "CartesianSweep",
+    "ExplicitVectors",
+    "RandomVectors",
+    "Vector",
+    "VectorSource",
+    "load_vector_file",
+    "parse_timing_token",
+    "parse_vector_line",
+    "ScenarioOutcome",
+    "SweepResult",
+    "run_scenarios",
+    "run_sweep",
+    "format_sweep_profile",
+    "format_sweep_summary",
+]

@@ -1,0 +1,138 @@
+"""The scenario-sweep engine: N vectors, one shared analyzer.
+
+Ousterhout's models exist to answer *many* timing questions per chip
+orders of magnitude faster than circuit simulation; this module is the
+many-questions part.  :func:`run_sweep` pushes every vector of a
+:class:`~repro.batch.vectors.VectorSource` through **one**
+:class:`~repro.core.timing.TimingAnalyzer`, so the path enumerations, RC
+trees, trigger indexes, and the delay-model memo built for the first
+scenario are reused by all the rest — marginal model evaluations per
+scenario approach zero (DESIGN.md §5b).  The results are bit-identical
+to running each vector through a fresh analyzer; the differential tests
+and ``benchmarks/bench_batch_sweep.py`` lock that equivalence down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Union
+
+from ..core.models import DelayModel
+from ..core.timing import TimingAnalyzer, TimingResult
+from ..core.timing.analyzer import Arrival, Event
+from ..core.timing.paths import StateMap
+from ..errors import SweepError
+from ..netlist import Network
+from ..perf import BatchPerf
+from .vectors import ExplicitVectors, Vector, VectorSource
+
+__all__ = ["ScenarioOutcome", "SweepResult", "run_sweep"]
+
+
+@dataclass
+class ScenarioOutcome:
+    """One vector's analysis, reduced to what sweep reports need."""
+
+    label: str
+    vector: Vector
+    result: TimingResult
+    #: the latest event over the watched nodes (the scenario's headline)
+    worst_event: Event
+    worst_arrival: Arrival
+
+    @property
+    def worst_time(self) -> float:
+        return self.worst_arrival.time
+
+
+@dataclass
+class SweepResult:
+    """Complete output of one batch sweep."""
+
+    network: Network
+    model_name: str
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    #: per-scenario counters + cross-scenario aggregate (cache hit rate)
+    batch_perf: BatchPerf = field(default_factory=BatchPerf)
+    #: nodes the worst-arrival ranking was restricted to (None = all)
+    watch: Optional[List[str]] = None
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def outcome(self, label: str) -> ScenarioOutcome:
+        for outcome in self.outcomes:
+            if outcome.label == label:
+                return outcome
+        raise SweepError(f"no scenario labeled {label!r} in this sweep")
+
+    def worst(self) -> ScenarioOutcome:
+        """The scenario with the latest watched arrival — the worst
+        vector, the number a designer sizes the clock period against."""
+        if not self.outcomes:
+            raise SweepError("sweep produced no scenarios")
+        return max(self.outcomes, key=lambda o: o.worst_time)
+
+    def arrival_stats(self) -> "ArrivalStats":
+        """Min/max/mean of the per-scenario worst arrivals."""
+        if not self.outcomes:
+            raise SweepError("sweep produced no scenarios")
+        times = [outcome.worst_time for outcome in self.outcomes]
+        return ArrivalStats(minimum=min(times), maximum=max(times),
+                            mean=sum(times) / len(times),
+                            scenarios=len(times))
+
+
+@dataclass(frozen=True)
+class ArrivalStats:
+    minimum: float
+    maximum: float
+    mean: float
+    scenarios: int
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+
+def run_sweep(network: Network,
+              source: Union[VectorSource, Iterable[Vector]],
+              model: Optional[DelayModel] = None,
+              states: Optional[StateMap] = None,
+              initial_states: Optional[StateMap] = None,
+              slope_quantum: float = 0.0,
+              watch: Optional[List[str]] = None,
+              analyzer: Optional[TimingAnalyzer] = None) -> SweepResult:
+    """Run every vector of *source* through one shared analyzer.
+
+    Pass an existing *analyzer* to extend a previous sweep with its
+    caches already warm (its network/model settings win); otherwise one
+    is built from the other arguments.  *watch* restricts the worst-
+    arrival ranking to the named nodes (e.g. the outputs that matter).
+    """
+    if analyzer is None:
+        analyzer = TimingAnalyzer(network, model=model, states=states,
+                                  initial_states=initial_states,
+                                  slope_quantum=slope_quantum)
+    sweep = SweepResult(network=analyzer.network,
+                        model_name=analyzer.model.name, watch=watch)
+    vectors = list(source)
+    if not vectors:
+        raise SweepError("vector source produced no vectors")
+    raw = [vector.inputs for vector in vectors]
+    results = analyzer.analyze_many(raw)
+    for vector, result in zip(vectors, results):
+        worst_event, worst_arrival = result.worst(nodes=watch)
+        sweep.outcomes.append(ScenarioOutcome(
+            label=vector.label, vector=vector, result=result,
+            worst_event=worst_event, worst_arrival=worst_arrival))
+        if result.perf is not None:
+            sweep.batch_perf.add(vector.label, result.perf)
+    return sweep
+
+
+def run_scenarios(network: Network, scenarios: Iterable, **kwargs
+                  ) -> SweepResult:
+    """Convenience: sweep raw ``{node: spec}`` mappings (auto-labeled)."""
+    return run_sweep(network, ExplicitVectors.from_mappings(scenarios),
+                     **kwargs)

@@ -1,0 +1,272 @@
+"""Input-vector sources for batch scenario sweeps.
+
+A *vector* is one complete primary-input timing assignment — the same
+``{node: InputSpec}`` mapping a single ``TimingAnalyzer.analyze()`` call
+takes — plus a label for reports.  The sweep engine
+(:mod:`repro.batch.sweep`) consumes any iterable of :class:`Vector`;
+this module provides the three stock sources:
+
+* :class:`ExplicitVectors` — a literal list (and the vector-file parser,
+  :func:`load_vector_file`);
+* :class:`CartesianSweep` — the cross product of per-node candidate
+  timings over a base assignment;
+* :class:`RandomVectors` — a seeded random sample, for differential
+  testing against the reference engine.
+
+Vector-file syntax (one scenario per line)::
+
+    # comment / blank lines ignored
+    @label  a=0 b=200p cin=1n:rise en=-
+
+Each token is ``NODE=TIME`` (both edges), ``NODE=TIME:rise`` /
+``NODE=TIME:fall`` (one edge), or ``NODE=-`` (static side input).  Times
+accept engineering suffixes (``2n``, ``500p``).  The optional leading
+``@label`` names the scenario; unlabeled lines are named ``v0``, ``v1``…
+by position.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from ..core.timing import InputSpec
+from ..errors import SweepError
+from ..units import parse_value
+
+__all__ = [
+    "Vector",
+    "VectorSource",
+    "ExplicitVectors",
+    "CartesianSweep",
+    "RandomVectors",
+    "parse_timing_token",
+    "parse_vector_line",
+    "load_vector_file",
+]
+
+
+@dataclass(frozen=True)
+class Vector:
+    """One labeled input scenario."""
+
+    label: str
+    inputs: Mapping[str, InputSpec]
+
+
+def parse_timing_token(token: str) -> Tuple[str, InputSpec]:
+    """``name=TIME``, ``name=TIME:rise``, ``name=TIME:fall`` or ``name=-``."""
+    if "=" not in token:
+        raise SweepError(f"bad timing token {token!r}; expected name=TIME")
+    name, value = token.split("=", 1)
+    name = name.strip()
+    value = value.strip()
+    if not name:
+        raise SweepError(f"bad timing token {token!r}; empty node name")
+    if value == "-":
+        return name, InputSpec(arrival_rise=None, arrival_fall=None)
+    edge = "both"
+    if ":" in value:
+        value, edge = value.rsplit(":", 1)
+        if edge not in ("rise", "fall"):
+            raise SweepError(
+                f"bad edge tag {edge!r} in {token!r}; use :rise or :fall")
+    try:
+        time = parse_value(value)
+    except Exception as exc:
+        raise SweepError(f"bad time {value!r} in {token!r}: {exc}") from None
+    if edge == "rise":
+        return name, InputSpec(arrival_rise=time, arrival_fall=None)
+    if edge == "fall":
+        return name, InputSpec(arrival_rise=None, arrival_fall=time)
+    return name, InputSpec(arrival_rise=time, arrival_fall=time)
+
+
+def with_default_slope(spec: InputSpec, slope: float) -> InputSpec:
+    """Apply *slope* to a spec that has transitioning edges and no slope."""
+    if slope <= 0.0 or spec.slope:
+        return spec
+    if spec.arrival_rise is None and spec.arrival_fall is None:
+        return spec
+    return InputSpec(arrival_rise=spec.arrival_rise,
+                     arrival_fall=spec.arrival_fall, slope=slope)
+
+
+def parse_vector_line(line: str, position: int,
+                      default_slope: float = 0.0) -> Vector:
+    """One vector-file line (already stripped of comments) → :class:`Vector`."""
+    tokens = line.split()
+    label = f"v{position}"
+    if tokens and tokens[0].startswith("@"):
+        label = tokens[0][1:]
+        tokens = tokens[1:]
+        if not label:
+            raise SweepError(f"empty @label on vector line {line!r}")
+    if not tokens:
+        raise SweepError(f"vector line {line!r} has no timing tokens")
+    inputs: Dict[str, InputSpec] = {}
+    for token in tokens:
+        name, spec = parse_timing_token(token)
+        if name in inputs:
+            raise SweepError(f"duplicate node {name!r} in vector {label!r}")
+        inputs[name] = with_default_slope(spec, default_slope)
+    return Vector(label=label, inputs=inputs)
+
+
+def load_vector_file(path: str,
+                     default_slope: float = 0.0) -> "ExplicitVectors":
+    """Parse a vector file into an :class:`ExplicitVectors` source."""
+    vectors: List[Vector] = []
+    try:
+        with open(path) as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise SweepError(f"cannot read vector file: {exc}") from None
+    labels = set()
+    for number, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            vector = parse_vector_line(line, len(vectors),
+                                       default_slope=default_slope)
+        except SweepError as exc:
+            raise SweepError(str(exc), filename=path, line=number) from None
+        if vector.label in labels:
+            raise SweepError(f"duplicate vector label {vector.label!r}",
+                             filename=path, line=number)
+        labels.add(vector.label)
+        vectors.append(vector)
+    if not vectors:
+        raise SweepError(f"vector file {path!r} contains no vectors")
+    return ExplicitVectors(vectors)
+
+
+class VectorSource:
+    """Iterable of :class:`Vector` — the sweep engine's input contract."""
+
+    def vectors(self) -> Iterator[Vector]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Vector]:
+        return self.vectors()
+
+
+@dataclass
+class ExplicitVectors(VectorSource):
+    """A literal scenario list."""
+
+    items: List[Vector] = field(default_factory=list)
+
+    @classmethod
+    def from_mappings(cls, scenarios: Iterable[Mapping[str, object]],
+                      prefix: str = "v") -> "ExplicitVectors":
+        """Wrap raw ``{node: InputSpec | time}`` mappings with labels."""
+        items = []
+        for position, inputs in enumerate(scenarios):
+            normalized = {name: _as_spec(spec)
+                          for name, spec in inputs.items()}
+            items.append(Vector(label=f"{prefix}{position}",
+                                inputs=normalized))
+        return cls(items)
+
+    def vectors(self) -> Iterator[Vector]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class CartesianSweep(VectorSource):
+    """Cross product of per-node timing candidates over a base vector.
+
+    ``axes`` maps node names to candidate :class:`InputSpec` (or bare
+    times); ``base`` supplies every other input.  Vectors are emitted in
+    row-major order of the axes' declaration, labeled with the axis
+    values (``a=0,b=1n``).
+    """
+
+    base: Mapping[str, object]
+    axes: Mapping[str, List[object]]
+
+    def vectors(self) -> Iterator[Vector]:
+        names = list(self.axes)
+        if not names:
+            raise SweepError("cartesian sweep needs at least one axis")
+        for name in names:
+            if not self.axes[name]:
+                raise SweepError(f"sweep axis {name!r} has no values")
+        counters = [0] * len(names)
+        while True:
+            inputs = {n: _as_spec(s) for n, s in self.base.items()}
+            parts = []
+            for name, position in zip(names, counters):
+                value = self.axes[name][position]
+                inputs[name] = _as_spec(value)
+                parts.append(f"{name}={_axis_label(value)}")
+            yield Vector(label=",".join(parts), inputs=inputs)
+            for index in reversed(range(len(names))):
+                counters[index] += 1
+                if counters[index] < len(self.axes[names[index]]):
+                    break
+                counters[index] = 0
+            else:
+                return
+
+
+@dataclass
+class RandomVectors(VectorSource):
+    """A seeded random sample of arrival-time assignments.
+
+    Every node in ``input_names`` gets both edges at an arrival drawn
+    uniformly from ``[0, span]`` (quantized to ``resolution`` so runs are
+    human-readable), with the given ``slope``.  The same seed always
+    produces the same vectors — the property the differential tests and
+    the batch bench rely on.
+    """
+
+    input_names: List[str]
+    count: int
+    seed: int = 0
+    span: float = 1e-9
+    slope: float = 0.0
+    resolution: float = 1e-12
+
+    def vectors(self) -> Iterator[Vector]:
+        if self.count <= 0:
+            raise SweepError(f"random sample size {self.count} must be >= 1")
+        if self.span < 0:
+            raise SweepError(f"negative random span {self.span!r}")
+        rng = random.Random(self.seed)
+        steps = max(int(round(self.span / self.resolution)), 0)
+        for position in range(self.count):
+            inputs: Dict[str, InputSpec] = {}
+            for name in self.input_names:
+                time = rng.randint(0, steps) * self.resolution if steps \
+                    else 0.0
+                inputs[name] = InputSpec(arrival_rise=time,
+                                         arrival_fall=time,
+                                         slope=self.slope)
+            yield Vector(label=f"r{position}", inputs=inputs)
+
+    def __len__(self) -> int:
+        return max(self.count, 0)
+
+
+def _as_spec(value: object) -> InputSpec:
+    if isinstance(value, InputSpec):
+        return value
+    if isinstance(value, (int, float)):
+        return InputSpec(arrival_rise=float(value),
+                         arrival_fall=float(value))
+    raise SweepError(f"bad input spec {value!r}; expected InputSpec or time")
+
+
+def _axis_label(value: object) -> str:
+    if isinstance(value, InputSpec):
+        rise = "-" if value.arrival_rise is None else f"{value.arrival_rise:g}"
+        fall = "-" if value.arrival_fall is None else f"{value.arrival_fall:g}"
+        return rise if rise == fall else f"{rise}r/{fall}f"
+    return f"{float(value):g}"

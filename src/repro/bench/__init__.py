@@ -1,11 +1,13 @@
 """Benchmark harness: scenarios, comparison runner, table formatting."""
 
 from .harness import (
+    BatchRuntimeRow,
     ComparisonRow,
     ErrorSummary,
     ModelEstimate,
     RuntimeRow,
     Scenario,
+    batch_runtime_comparison,
     model_delay,
     reference_delay,
     run_scenario,
@@ -23,6 +25,8 @@ from .tables import (
 )
 
 __all__ = [
+    "BatchRuntimeRow",
+    "batch_runtime_comparison",
     "ComparisonRow",
     "ErrorSummary",
     "ModelEstimate",

@@ -222,6 +222,102 @@ def time_callable(fn: Callable[[], object], repeats: int = 1) -> float:
     return best
 
 
+@dataclass
+class BatchRuntimeRow:
+    """Shared-analyzer sweep vs N fresh analyzers over the same vectors.
+
+    The acceptance number of the batching work: ``eval_ratio`` is how
+    many times fewer delay-model evaluations per scenario the shared
+    analyzer needs, and ``identical`` certifies the speedup changed no
+    answer (per-scenario arrivals bit-identical).
+    """
+
+    circuit: str
+    scenarios: int
+    shared_seconds: float
+    fresh_seconds: float
+    shared_model_evals: int
+    fresh_model_evals: int
+    identical: bool
+    #: batch-aggregate counters of the shared run (cache hit rate, …)
+    shared_counters: Optional[Dict[str, int]] = None
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.shared_seconds <= 0:
+            return None
+        return self.fresh_seconds / self.shared_seconds
+
+    @property
+    def eval_ratio(self) -> Optional[float]:
+        """Fresh-per-scenario evals over shared-per-scenario evals."""
+        if self.shared_model_evals <= 0:
+            return math.inf if self.fresh_model_evals else None
+        return self.fresh_model_evals / self.shared_model_evals
+
+    @property
+    def shared_evals_per_scenario(self) -> float:
+        return self.shared_model_evals / max(self.scenarios, 1)
+
+    @property
+    def fresh_evals_per_scenario(self) -> float:
+        return self.fresh_model_evals / max(self.scenarios, 1)
+
+
+def _results_identical(shared, fresh) -> bool:
+    if set(shared.arrivals) != set(fresh.arrivals):
+        return False
+    for event, arrival in shared.arrivals.items():
+        other = fresh.arrivals[event]
+        if (arrival.time != other.time or arrival.slope != other.slope
+                or arrival.cause != other.cause):
+            return False
+    return True
+
+
+def batch_runtime_comparison(network: Network,
+                             vectors: Sequence[Mapping[str, object]],
+                             model: Optional[DelayModel] = None
+                             ) -> BatchRuntimeRow:
+    """Measure one shared ``analyze_many()`` against N fresh analyzers.
+
+    Both sides analyze the same vectors with the same model; the fresh
+    side pays full path/RC/memo setup per scenario (the pre-batching
+    workflow), the shared side pays it once.  Per-scenario arrivals are
+    compared event by event (times, slopes, causal links) and any
+    difference clears ``identical``.
+    """
+    shared_analyzer = TimingAnalyzer(network, model=model)
+    start = time.perf_counter()
+    shared_results = shared_analyzer.analyze_many(vectors)
+    shared_seconds = time.perf_counter() - start
+
+    fresh_results = []
+    start = time.perf_counter()
+    for inputs in vectors:
+        fresh_results.append(
+            TimingAnalyzer(network, model=model).analyze(inputs))
+    fresh_seconds = time.perf_counter() - start
+
+    identical = all(
+        _results_identical(shared, fresh)
+        for shared, fresh in zip(shared_results, fresh_results))
+    shared_evals = sum(r.perf.get("model_evals")
+                       for r in shared_results if r.perf)
+    fresh_evals = sum(r.perf.get("model_evals")
+                      for r in fresh_results if r.perf)
+    return BatchRuntimeRow(
+        circuit=network.name,
+        scenarios=len(shared_results),
+        shared_seconds=shared_seconds,
+        fresh_seconds=fresh_seconds,
+        shared_model_evals=shared_evals,
+        fresh_model_evals=fresh_evals,
+        identical=identical,
+        shared_counters=dict(shared_analyzer.perf.counters),
+    )
+
+
 def runtime_comparison(network: Network,
                        timing_inputs: Mapping[str, object],
                        drives: Optional[Mapping[str, object]] = None,

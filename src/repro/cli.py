@@ -9,12 +9,22 @@ of commands; this CLI reproduces that workflow non-interactively:
     repro-crystal switch    adder.sim --tech cmos3 --set a0=1 --set b0=0
     repro-crystal timing    adder.sim --tech cmos3 --input "cin=0" \
                             --model slope --report cout
+    repro-crystal sweep     adder.sim --tech cmos3 --vectors vecs.txt \
+                            --profile
     repro-crystal hazards   datapath.sim --tech nmos4
     repro-crystal characterize --tech nmos4 --output tables.json
 
-Timing ``--input`` syntax: ``name=TIME`` (both edges), ``name=TIMEr``
-(rising edge only), ``name=TIMEf`` (falling only), ``name=-`` (static side
-input, no events).  Times accept engineering suffixes (``2n``, ``500p``).
+Timing ``--input`` syntax: ``name=TIME`` (both edges),
+``name=TIME:rise`` (rising edge only), ``name=TIME:fall`` (falling only),
+``name=-`` (static side input, no events).  Times accept engineering
+suffixes (``2n``, ``500p``).
+
+The ``sweep`` subcommand runs many input vectors through **one** shared
+analyzer (cache-sharing batch mode, see DESIGN.md §5b).  Vectors come
+from a ``--vectors`` file (one scenario per line of ``name=TIME``
+tokens, optional leading ``@label``), from repeated
+``--sweep name=T1,T2,…`` cartesian axes over a ``--input`` base, or
+from ``--random N --seed S`` samples.
 """
 
 from __future__ import annotations
@@ -24,6 +34,16 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from .batch import (
+    CartesianSweep,
+    RandomVectors,
+    format_sweep_profile,
+    format_sweep_summary,
+    load_vector_file,
+    parse_timing_token,
+    run_sweep,
+)
+from .batch.vectors import with_default_slope
 from .core.models import (
     LumpedRCModel,
     RCTreeModel,
@@ -32,7 +52,6 @@ from .core.models import (
 )
 from .core.models.characterize import table_summary
 from .core.timing import (
-    InputSpec,
     TimingAnalyzer,
     arrival_table,
     find_charge_sharing_hazards,
@@ -74,24 +93,12 @@ def _load(path: str, tech: Technology) -> Network:
 
 
 def _parse_timing_input(token: str) -> tuple:
-    """``name=TIME``, ``name=TIME:rise``, ``name=TIME:fall`` or ``name=-``."""
-    if "=" not in token:
-        raise ReproError(f"bad --input {token!r}; expected name=TIME")
-    name, value = token.split("=", 1)
-    value = value.strip()
-    if value == "-":
-        return name, InputSpec(arrival_rise=None, arrival_fall=None)
-    edge = "both"
-    if ":" in value:
-        value, edge = value.rsplit(":", 1)
-        if edge not in ("rise", "fall"):
-            raise ReproError(f"bad edge tag {edge!r}; use :rise or :fall")
-    time = parse_value(value)
-    if edge == "rise":
-        return name, InputSpec(arrival_rise=time, arrival_fall=None)
-    if edge == "fall":
-        return name, InputSpec(arrival_rise=None, arrival_fall=time)
-    return name, InputSpec(arrival_rise=time, arrival_fall=time)
+    """``name=TIME``, ``name=TIME:rise``, ``name=TIME:fall`` or ``name=-``.
+
+    Shared with the vector-file format — see
+    :func:`repro.batch.parse_timing_token`.
+    """
+    return parse_timing_token(token)
 
 
 def _parse_set(token: str) -> tuple:
@@ -146,11 +153,7 @@ def cmd_timing(args: argparse.Namespace) -> int:
     inputs = {}
     for token in args.input or []:
         name, spec = _parse_timing_input(token)
-        if slope and (spec.arrival_rise is not None
-                      or spec.arrival_fall is not None):
-            spec = InputSpec(arrival_rise=spec.arrival_rise,
-                             arrival_fall=spec.arrival_fall, slope=slope)
-        inputs[name] = spec
+        inputs[name] = with_default_slope(spec, slope)
     analyzer = TimingAnalyzer(network, model=model,
                               slope_quantum=args.slope_quantum)
     result = analyzer.analyze(inputs)
@@ -169,6 +172,66 @@ def cmd_timing(args: argparse.Namespace) -> int:
         print(format_worst_paths(result, count=args.count))
         print()
         print(arrival_table(result))
+    return 0
+
+
+def _sweep_source(args: argparse.Namespace, network: Network, slope: float):
+    """Build the vector source from the mutually exclusive sweep flags."""
+    chosen = [flag for flag, given in (
+        ("--vectors", args.vectors),
+        ("--sweep", args.sweep),
+        ("--random", args.random),
+    ) if given]
+    if len(chosen) != 1:
+        raise ReproError(
+            "sweep needs exactly one vector source: a --vectors file, "
+            "one or more --sweep axes, or --random N"
+        )
+    if args.vectors:
+        return load_vector_file(args.vectors, default_slope=slope)
+    base = {}
+    for token in args.input or []:
+        name, spec = _parse_timing_input(token)
+        base[name] = with_default_slope(spec, slope)
+    if args.sweep:
+        axes = {}
+        for token in args.sweep:
+            if "=" not in token:
+                raise ReproError(
+                    f"bad --sweep {token!r}; expected name=T1,T2,…")
+            name, values = token.split("=", 1)
+            specs = []
+            for value in values.split(","):
+                _, spec = _parse_timing_input(f"{name}={value.strip()}")
+                specs.append(with_default_slope(spec, slope))
+            axes[name] = specs
+        return CartesianSweep(base=base, axes=axes)
+    free = [n.name for n in network.inputs() if n.name not in base]
+    if not free:
+        raise ReproError("--random has no free inputs to randomize "
+                         "(every primary input is pinned by --input)")
+    span = parse_value(args.span) if args.span else 1e-9
+    source = RandomVectors(input_names=free, count=args.random,
+                           seed=args.seed, span=span, slope=slope)
+    if not base:
+        return source
+    return ([type(v)(label=v.label, inputs={**base, **v.inputs})
+             for v in source])
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    tech = _tech(args.tech, characterized=not args.no_characterize)
+    network = _load(args.netlist, tech)
+    model = MODELS[args.model]()
+    slope = parse_value(args.slope) if args.slope else 0.0
+    source = _sweep_source(args, network, slope)
+    sweep = run_sweep(network, source, model=model,
+                      slope_quantum=args.slope_quantum, watch=args.watch)
+    if args.profile:
+        print(format_sweep_profile(sweep))
+        print()
+    print(format_sweep_summary(sweep, count=args.count,
+                               critical_path=not args.no_critical_path))
     return 0
 
 
@@ -238,6 +301,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative slope quantization for the delay-model "
                         "memo cache (e.g. 0.05; default 0 = exact)")
     p.set_defaults(func=cmd_timing)
+
+    p = sub.add_parser(
+        "sweep", help="batch scenario sweep through one shared analyzer")
+    add_common(p)
+    p.add_argument("--vectors", metavar="FILE",
+                   help="vector file: one scenario per line of NODE=TIME "
+                        "tokens (optional leading @label)")
+    p.add_argument("--input", action="append", metavar="NODE=TIME[r|f]|-",
+                   help="base input timing for --sweep/--random "
+                        "(repeatable)")
+    p.add_argument("--sweep", action="append", metavar="NODE=T1,T2,…",
+                   help="cartesian axis: sweep NODE over the listed times "
+                        "(repeatable; crossed with other axes)")
+    p.add_argument("--random", type=int, metavar="N",
+                   help="N seeded-random vectors over the unpinned inputs")
+    p.add_argument("--seed", type=int, default=0,
+                   help="random-vector seed (default 0)")
+    p.add_argument("--span", metavar="TIME", default="1n",
+                   help="random arrival window [0, SPAN] (default 1n)")
+    p.add_argument("--model", default="slope", choices=sorted(MODELS))
+    p.add_argument("--slope", metavar="TIME",
+                   help="input transition time applied to every vector")
+    p.add_argument("--watch", action="append", metavar="NODE",
+                   help="rank scenarios by these nodes only (repeatable)")
+    p.add_argument("--count", type=int, default=20,
+                   help="scenarios listed in the summary table (default 20)")
+    p.add_argument("--no-critical-path", action="store_true",
+                   help="skip the worst vector's critical-path report")
+    p.add_argument("--no-characterize", action="store_true",
+                   help="use analytic default tables (fast, less accurate)")
+    p.add_argument("--profile", action="store_true",
+                   help="print per-scenario and batch perf counters "
+                        "(cross-scenario cache hit rate)")
+    p.add_argument("--slope-quantum", type=float, default=0.0,
+                   metavar="FRACTION",
+                   help="relative slope quantization for the delay-model "
+                        "memo cache (e.g. 0.05; default 0 = exact)")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("hazards", help="charge-sharing hazard scan")
     add_common(p)

@@ -18,7 +18,12 @@ from .analyzer import (
     TimingResult,
     analyze,
 )
-from .report import arrival_table, format_critical_path, format_worst_paths
+from .report import (
+    arrival_table,
+    format_critical_path,
+    format_worst_paths,
+    worst_events,
+)
 from .clocking import (
     ClockPhase,
     ClockSchedule,
@@ -64,4 +69,5 @@ __all__ = [
     "arrival_table",
     "format_critical_path",
     "format_worst_paths",
+    "worst_events",
 ]

@@ -41,7 +41,16 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ...errors import TimingError
 from ...netlist import Network
@@ -282,12 +291,26 @@ class TimingAnalyzer:
 
     def invalidate_caches(self) -> None:
         """Drop every derived cache (paths, RC trees, trigger indexes,
-        memoized stage delays).  Call after mutating the network, the
-        technology tables, or the model in place."""
+        memoized stage delays) and rebuild the stage graph.  Call after
+        mutating the network (device geometry, added loads, added
+        devices), the technology tables, or the model in place — a stale
+        analyzer silently reuses delays computed for the old circuit."""
         self._paths.clear()
         self._trees.clear()
         self._delay_cache.clear()
         self._trigger_index.clear()
+        with self.perf.timer("stage_graph_build"):
+            self.graph = StageGraph.build(self.network)
+
+    def reset_run_state(self) -> None:
+        """Clear per-run state without touching analyzer-lifetime caches.
+
+        ``analyze()`` resets its own run state on every exit (including
+        exceptions), so this is only needed to recover an instance whose
+        run state was corrupted externally; it never drops the path/RC/
+        memo caches that make warm re-analysis cheap.
+        """
+        self._run_perf = None
 
     def _count(self, name: str, amount: int = 1) -> None:
         perf = self._run_perf if self._run_perf is not None else self.perf
@@ -303,6 +326,12 @@ class TimingAnalyzer:
         number, shorthand for "both edges at that time, step slope").
         Every primary input of the network must be covered.
         """
+        if self._run_perf is not None:
+            raise TimingError(
+                "analyze() re-entered: a TimingAnalyzer runs one scenario "
+                "at a time (use reset_run_state() to recover an instance "
+                "whose previous run was corrupted)"
+            )
         perf = PerfCounters()
         self._run_perf = perf
         try:
@@ -314,6 +343,32 @@ class TimingAnalyzer:
         return TimingResult(network=self.network,
                             model_name=self.model.name, arrivals=arrivals,
                             perf=perf)
+
+    def analyze_many(self,
+                     scenarios: Iterable[Mapping[str, Union[InputSpec, float]]]
+                     ) -> List[TimingResult]:
+        """Analyze a batch of input scenarios against this one analyzer.
+
+        Every scenario runs with the same analyzer-lifetime caches (path
+        enumerations, RC trees, trigger indexes, the delay-model memo), so
+        after the first scenario pays the setup cost the marginal model
+        evaluations per scenario approach zero — the sweep amortization
+        the ROADMAP's multi-scenario batching item asks for (DESIGN.md
+        §5b).  Per-run state is reset between scenarios; each returned
+        :class:`TimingResult` carries its own perf snapshot, and the
+        cumulative :attr:`perf` picks up per-batch totals plus a
+        ``batch_scenarios`` count and an ``analyze_batch`` timer.
+
+        Results are bit-identical to running each scenario through a
+        fresh analyzer (the differential tests and
+        ``benchmarks/bench_batch_sweep.py`` assert this).
+        """
+        results: List[TimingResult] = []
+        with self.perf.timer("analyze_batch"):
+            for inputs in scenarios:
+                results.append(self.analyze(inputs))
+        self.perf.incr("batch_scenarios", len(results))
+        return results
 
     def _propagate(self, inputs: Mapping[str, Union[InputSpec, float]],
                    perf: PerfCounters) -> Dict[Event, Arrival]:

@@ -42,17 +42,29 @@ def format_critical_path(result: TimingResult, node: str,
     return "\n".join(lines)
 
 
-def format_worst_paths(result: TimingResult,
-                       nodes: Optional[List[str]] = None,
-                       count: int = 5) -> str:
-    """The *count* latest events with their arrival times (ranked list)."""
+def worst_events(result: TimingResult,
+                 nodes: Optional[List[str]] = None,
+                 count: Optional[int] = None
+                 ) -> List[Tuple[Event, Arrival]]:
+    """Computed events ranked latest-first, optionally node-filtered.
+
+    The ranking behind :func:`format_worst_paths` and the batch sweep
+    reports (:mod:`repro.batch.report`).
+    """
     items: List[Tuple[Event, Arrival]] = list(result.arrivals.items())
     if nodes is not None:
         wanted = {result.network.node(n).name for n in nodes}
         items = [(e, a) for e, a in items if e.node in wanted]
     items.sort(key=lambda item: item[1].time, reverse=True)
+    return items if count is None else items[:count]
+
+
+def format_worst_paths(result: TimingResult,
+                       nodes: Optional[List[str]] = None,
+                       count: int = 5) -> str:
+    """The *count* latest events with their arrival times (ranked list)."""
     lines = [f"worst arrivals (model: {result.model_name})"]
-    for event, arrival in items[:count]:
+    for event, arrival in worst_events(result, nodes, count):
         origin = "input" if arrival.is_primary else str(arrival.cause)
         lines.append(
             f"  {str(event):>14s}  {format_value(arrival.time, 's'):>12s}"

@@ -61,5 +61,21 @@ class TimingError(AnalysisError):
     """Static timing analysis failed (no paths, inconsistent states, …)."""
 
 
+class SweepError(AnalysisError):
+    """A batch scenario sweep could not be set up or run.
+
+    Carries the vector file name and line number when the failure is a
+    malformed vector file.
+    """
+
+    def __init__(self, message: str, filename: str | None = None,
+                 line: int = 0):
+        self.filename = filename
+        self.line = line
+        if filename is not None and line:
+            message = f"{filename}:{line}: {message}"
+        super().__init__(message)
+
+
 class MeasurementError(AnalysisError):
     """A waveform measurement could not be taken (no crossing, …)."""

@@ -129,6 +129,30 @@ class Network:
         self._channel_index.setdefault(drain_n, []).append(name)
         return device
 
+    def resize_transistor(self, name: str, width: Optional[float] = None,
+                          length: Optional[float] = None) -> Transistor:
+        """Replace a transistor's geometry in place (terminals unchanged).
+
+        The in-place edit the sizing workflows use between analyses.
+        Analyses cache state derived from device geometry (RC trees,
+        memoized stage delays): any live
+        :class:`~repro.core.timing.TimingAnalyzer` on this network must
+        have ``invalidate_caches()`` called afterwards or it will keep
+        answering for the old geometry.
+        """
+        old = self.transistor(name)
+        device = Transistor(
+            name=old.name,
+            kind=old.kind,
+            gate=old.gate,
+            source=old.source,
+            drain=old.drain,
+            width=old.width if width is None else float(width),
+            length=old.length if length is None else float(length),
+        )
+        self._transistors[name] = device
+        return device
+
     def add_resistor(self, node_a: str, node_b: str, resistance: float,
                      name: Optional[str] = None) -> Resistor:
         if name is None:

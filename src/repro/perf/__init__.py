@@ -1,5 +1,5 @@
 """Observability for the hot paths: counters and wall-clock timers."""
 
-from .counters import STANDARD_COUNTERS, PerfCounters, merge_all
+from .counters import STANDARD_COUNTERS, BatchPerf, PerfCounters, merge_all
 
-__all__ = ["STANDARD_COUNTERS", "PerfCounters", "merge_all"]
+__all__ = ["STANDARD_COUNTERS", "BatchPerf", "PerfCounters", "merge_all"]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 #: Counters the timing engine emits, in display order, with a short gloss.
 STANDARD_COUNTERS: Dict[str, str] = {
@@ -127,3 +127,68 @@ def merge_all(parts: Mapping[str, PerfCounters]) -> PerfCounters:
     for part in parts.values():
         total.merge(part)
     return total
+
+
+@dataclass
+class BatchPerf:
+    """Per-scenario counters of one batch sweep, plus the aggregate.
+
+    The interesting batch-level number is the *cross-scenario* cache hit
+    rate: a shared analyzer keeps its delay-model memo warm between
+    scenarios, so scenario N's hits include reuse of work done for
+    scenarios 0..N-1 — exactly the amortization
+    :meth:`~repro.core.timing.analyzer.TimingAnalyzer.analyze_many`
+    exists to provide.
+    """
+
+    scenarios: List[Tuple[str, PerfCounters]] = field(default_factory=list)
+
+    def add(self, label: str, perf: PerfCounters) -> None:
+        self.scenarios.append((label, perf.snapshot()))
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def total(self) -> PerfCounters:
+        """Aggregate over every scenario (recomputed on access)."""
+        total = PerfCounters()
+        for _, part in self.scenarios:
+            total.merge(part)
+        return total
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Model-memo hit fraction across the whole batch."""
+        return self.total.cache_hit_rate
+
+    def evals_per_scenario(self) -> Optional[float]:
+        """Mean delay-model evaluations per scenario."""
+        if not self.scenarios:
+            return None
+        return self.total.get("model_evals") / len(self.scenarios)
+
+    def format_table(self, title: str = "batch perf") -> str:
+        """One row per scenario plus a totals row with the batch-wide
+        cache hit rate."""
+        lines = [title, "-" * len(title),
+                 f"{'scenario':<20} {'visits':>7} {'evals':>7} "
+                 f"{'hits':>7} {'hit rate':>9} {'seconds':>10}"]
+
+        def row(name: str, perf: PerfCounters) -> str:
+            rate = perf.cache_hit_rate
+            return (f"{name:<20} {perf.get('stage_visits'):>7} "
+                    f"{perf.get('model_evals'):>7} "
+                    f"{perf.get('model_cache_hits'):>7} "
+                    f"{(f'{rate:.1%}' if rate is not None else '-'):>9} "
+                    f"{perf.elapsed('analyze'):>9.4f}s")
+
+        for label, perf in self.scenarios:
+            lines.append(row(label, perf))
+        total = self.total
+        lines.append("-" * len(lines[2]))
+        lines.append(row(f"total ({len(self.scenarios)})", total))
+        per_scenario = self.evals_per_scenario()
+        if per_scenario is not None:
+            lines.append(f"model evals per scenario: {per_scenario:.1f}")
+        return "\n".join(lines)

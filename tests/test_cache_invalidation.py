@@ -1,0 +1,133 @@
+"""Cache-invalidation regression tests.
+
+A :class:`TimingAnalyzer` keeps paths, RC trees, trigger indexes, and
+memoized stage delays for its lifetime.  These tests mutate the network
+in place between ``analyze()`` calls — resize a transistor, add a load
+capacitance — and pin down both halves of the contract:
+
+* a *stale-cache* run is detectably wrong (it still answers for the old
+  circuit), and
+* ``invalidate_caches()`` restores correctness bit-identically to a
+  fresh analyzer built on the mutated network.
+"""
+
+import pytest
+
+from repro.circuits import adder_input_names, inverter_chain, \
+    ripple_carry_adder
+from repro.core.timing import TimingAnalyzer
+from repro.tech import CMOS3, Transition
+
+
+def _assert_identical(result, reference):
+    assert set(result.arrivals) == set(reference.arrivals)
+    for event, arrival in result.arrivals.items():
+        expected = reference.arrivals[event]
+        assert arrival.time == expected.time, event
+        assert arrival.slope == expected.slope, event
+        assert arrival.cause == expected.cause, event
+
+
+class TestResizeTransistor:
+    def test_resize_returns_new_geometry(self):
+        net = inverter_chain(CMOS3, 2)
+        name = net.transistors[0].name
+        old = net.transistor(name)
+        resized = net.resize_transistor(name, width=old.width * 4)
+        assert resized.width == pytest.approx(old.width * 4)
+        assert resized.length == old.length
+        assert net.transistor(name).width == resized.width
+        # terminals and connectivity are untouched
+        assert resized.channel == old.channel
+        assert name in [t.name for t in net.transistors_gated_by(old.gate)]
+
+    def test_stale_cache_is_wrong_and_invalidate_fixes_it(self):
+        net = inverter_chain(CMOS3, 3)
+        inputs = {"in": 0.0}
+        analyzer = TimingAnalyzer(net)
+        before = analyzer.analyze(inputs)
+
+        # Shrink only the first inverter 4x: its resistance quadruples
+        # while its load (the unchanged second stage's gates) stays put,
+        # so the chain gets measurably slower.  (Shrinking *every* stage
+        # would cancel out — R·C scaling invariance.)
+        for device in net.transistors_gated_by("in"):
+            net.resize_transistor(device.name, width=device.width / 4)
+
+        stale = analyzer.analyze(inputs)
+        fresh = TimingAnalyzer(net).analyze(inputs)
+        out_stale = stale.arrival("out", Transition.RISE).time
+        out_fresh = fresh.arrival("out", Transition.RISE).time
+        out_before = before.arrival("out", Transition.RISE).time
+        # stale run still answers for the old geometry...
+        assert out_stale == pytest.approx(out_before)
+        # ...which is detectably wrong for the resized circuit
+        assert out_fresh > out_stale * 1.5
+
+        analyzer.invalidate_caches()
+        _assert_identical(analyzer.analyze(inputs), fresh)
+
+
+class TestAddLoadCapacitance:
+    def test_added_load_needs_invalidation(self):
+        net = ripple_carry_adder(CMOS3, 2)
+        inputs = {n: 0.0 for n in adder_input_names(2)}
+        analyzer = TimingAnalyzer(net)
+        before = analyzer.analyze(inputs)
+
+        # Hang a large wire load on the carry output.
+        net.add_capacitor("cout", "gnd", 500e-15)
+
+        stale = analyzer.analyze(inputs)
+        fresh = TimingAnalyzer(net).analyze(inputs)
+        cout_stale = stale.arrival("cout", Transition.RISE).time
+        cout_fresh = fresh.arrival("cout", Transition.RISE).time
+        assert cout_stale == pytest.approx(
+            before.arrival("cout", Transition.RISE).time)
+        assert cout_fresh > cout_stale
+
+        analyzer.invalidate_caches()
+        _assert_identical(analyzer.analyze(inputs), fresh)
+
+    def test_batch_sweep_after_invalidation(self):
+        """The sweep engine inherits the same contract: mutate, stale
+        sweep wrong, invalidate, correct again — without rebuilding the
+        analyzer."""
+        from repro.batch import RandomVectors, run_sweep
+
+        net = ripple_carry_adder(CMOS3, 2)
+        source = list(RandomVectors(input_names=adder_input_names(2),
+                                    count=3, seed=3, span=1e-9))
+        analyzer = TimingAnalyzer(net)
+        run_sweep(net, source, analyzer=analyzer)
+
+        net.add_capacitor("cout", "gnd", 500e-15)
+        analyzer.invalidate_caches()
+        corrected = run_sweep(net, source, analyzer=analyzer)
+        for outcome in corrected.outcomes:
+            fresh = TimingAnalyzer(net).analyze(outcome.vector.inputs)
+            _assert_identical(outcome.result, fresh)
+
+
+class TestInvalidationRebuildsStageGraph:
+    def test_topology_mutation_is_picked_up(self):
+        """invalidate_caches() also rebuilds the stage graph, so even a
+        topology-changing mutation (a new inverter stage wired onto the
+        output) is analyzed correctly by the same analyzer."""
+        net = inverter_chain(CMOS3, 2)
+        analyzer = TimingAnalyzer(net)
+        analyzer.analyze({"in": 0.0})
+
+        tech = net.tech
+        from repro.tech import DeviceKind
+        net.add_transistor(DeviceKind.NMOS_ENH, gate="out", source="gnd",
+                           drain="out2", width=6e-6,
+                           length=tech.default_length)
+        net.add_transistor(DeviceKind.PMOS, gate="out", source="vdd",
+                           drain="out2", width=12e-6,
+                           length=tech.default_length)
+        analyzer.invalidate_caches()
+        result = analyzer.analyze({"in": 0.0})
+        fresh = TimingAnalyzer(net).analyze({"in": 0.0})
+        _assert_identical(result, fresh)
+        assert result.has_arrival("out2", Transition.RISE)

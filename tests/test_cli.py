@@ -1,11 +1,14 @@
 """Tests for the repro-crystal command-line interface."""
 
 import json
+import pathlib
 
 import pytest
 
 from repro.cli import _parse_set, _parse_timing_input, main
 from repro.errors import ReproError
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 
 INVERTER_SIM = """\
 | cmos inverter chain
@@ -154,6 +157,132 @@ class TestTimingCommand:
         err = capsys.readouterr().err
         assert code == 2
         assert "error:" in err
+
+
+NAND_SIM = """\
+i a b
+n a mid y 2 8
+n b gnd mid 2 8
+p a vdd y 2 8
+p b vdd y 2 8
+"""
+
+
+@pytest.fixture
+def nand_file(tmp_path):
+    path = tmp_path / "nand.sim"
+    path.write_text(NAND_SIM)
+    return str(path)
+
+
+class TestSweepCommand:
+    def _vec_file(self, tmp_path, text):
+        path = tmp_path / "vecs.txt"
+        path.write_text(text)
+        return str(path)
+
+    def test_vector_file_sweep(self, nand_file, tmp_path, capsys):
+        vecs = self._vec_file(
+            tmp_path, "@together a=0 b=0\n@a-late a=300p b=0\n")
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--vectors", vecs])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep summary: 2 scenario(s)" in out
+        assert "a-late" in out and "together" in out
+        assert "worst vector:" in out
+        assert "critical path to" in out
+
+    def test_profile_output_shape(self, nand_file, tmp_path, capsys):
+        vecs = self._vec_file(tmp_path, "a=0 b=0\na=100p b=0\n")
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--vectors", vecs, "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "batch perf (2 scenario(s), shared analyzer)" in out
+        assert "hit rate" in out
+        assert "model evals per scenario" in out
+        assert "total (2)" in out
+
+    def test_malformed_vector_file_exit_code(self, nand_file, tmp_path,
+                                             capsys):
+        vecs = self._vec_file(tmp_path, "a=0 b=0\na=notatime b=0\n")
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--vectors", vecs])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+        assert "vecs.txt:2" in err  # file and line of the bad vector
+
+    def test_vector_with_unknown_node_exit_code(self, nand_file, tmp_path,
+                                                capsys):
+        vecs = self._vec_file(tmp_path, "a=0 b=0 ghost=1n\n")
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--vectors", vecs])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_missing_source_is_error(self, nand_file, capsys):
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "exactly one vector source" in err
+
+    def test_conflicting_sources_are_error(self, nand_file, tmp_path,
+                                           capsys):
+        vecs = self._vec_file(tmp_path, "a=0 b=0\n")
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--vectors", vecs,
+                     "--random", "4"])
+        assert code == 2
+
+    def test_cartesian_axes(self, nand_file, capsys):
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--input", "b=0",
+                     "--sweep", "a=0,200p,400p", "--no-critical-path"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep summary: 3 scenario(s)" in out
+
+    def test_random_vectors_are_seeded(self, nand_file, capsys):
+        args = ["sweep", nand_file, "--tech", "cmos3", "--no-characterize",
+                "--random", "4", "--seed", "9", "--span", "500p",
+                "--no-critical-path"]
+        code = main(args)
+        first = capsys.readouterr().out
+        assert code == 0
+        assert "sweep summary: 4 scenario(s)" in first
+        main(args)
+        assert capsys.readouterr().out == first
+
+    def test_random_with_every_input_pinned_is_error(self, nand_file,
+                                                     capsys):
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--input", "a=0", "--input",
+                     "b=0", "--random", "2"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no free inputs" in err
+
+    def test_watch_restricts_ranking(self, nand_file, capsys):
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--random", "2",
+                     "--watch", "y", "--no-critical-path"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "watching y" in out
+
+    def test_shipped_example_files(self, capsys):
+        """The examples/ vector file and netlist stay valid."""
+        code = main(["sweep", str(EXAMPLES / "nand2.sim"), "--tech",
+                     "cmos3", "--no-characterize", "--vectors",
+                     str(EXAMPLES / "nand2.vec"), "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep summary: 5 scenario(s)" in out
+        assert "fall-race" in out
 
 
 class TestHazardsCommand:
