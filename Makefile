@@ -8,13 +8,17 @@
 #                   >25% regression over its committed counter baseline
 #                   (BENCH_timing.json / BENCH_batch.json) or a 2x
 #                   wall-clock blowout over the historical best
+#   make perf-parallel  the parallel-execution bench: records speedup at
+#                   jobs 1/2/4 into BENCH_parallel.json, asserts
+#                   bit-identity across job counts, and enforces the
+#                   >=2x speedup gate on hosts with >=4 CPUs
 #   make check      all of the above, in cheapest-first order
 #   make bench      regenerate every paper table/figure (long)
 
 PYTHONPATH := src
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: test test-slow perf check bench goldens
+.PHONY: test test-slow perf perf-parallel check check-fast bench goldens
 
 test:
 	$(PYTEST) -x -q
@@ -26,7 +30,14 @@ perf:
 	$(PYTEST) benchmarks/bench_perf_regression.py \
 	          benchmarks/bench_batch_sweep.py -q -s
 
-check: test test-slow perf
+perf-parallel:
+	$(PYTEST) benchmarks/bench_parallel.py -q -s
+
+check: test test-slow perf perf-parallel
+
+# CI's gate: everything in `check` except the slow tier (analog golden
+# references are too heavy for shared runners).
+check-fast: test perf perf-parallel
 
 bench:
 	$(PYTEST) benchmarks/ -q -s

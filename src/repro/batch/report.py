@@ -63,5 +63,8 @@ def format_sweep_summary(sweep: SweepResult, count: int = 20,
 
 def format_sweep_profile(sweep: SweepResult) -> str:
     """Per-scenario and batch-aggregate perf counters."""
-    return sweep.batch_perf.format_table(
+    table = sweep.batch_perf.format_table(
         f"batch perf ({len(sweep)} scenario(s), shared analyzer)")
+    if sweep.parallel is not None:
+        table += "\n" + "\n".join(sweep.parallel.format_lines())
+    return table

@@ -21,9 +21,9 @@ from ..core.models import DelayModel
 from ..core.timing import TimingAnalyzer, TimingResult
 from ..core.timing.analyzer import Arrival, Event
 from ..core.timing.paths import StateMap
-from ..errors import SweepError
+from ..errors import ReproError, SweepError
 from ..netlist import Network
-from ..perf import BatchPerf
+from ..perf import BatchPerf, ParallelPerf, PerfCounters
 from .vectors import ExplicitVectors, Vector, VectorSource
 
 __all__ = ["ScenarioOutcome", "SweepResult", "run_sweep"]
@@ -56,6 +56,8 @@ class SweepResult:
     batch_perf: BatchPerf = field(default_factory=BatchPerf)
     #: nodes the worst-arrival ranking was restricted to (None = all)
     watch: Optional[List[str]] = None
+    #: stats of the scenario-sharded executor, when the sweep used one
+    parallel: Optional[ParallelPerf] = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -95,6 +97,24 @@ class ArrivalStats:
         return self.maximum - self.minimum
 
 
+def _validate_vectors(analyzer: TimingAnalyzer,
+                      vectors: List[Vector]) -> None:
+    """Reject bad vectors before any analysis (or worker dispatch) runs.
+
+    Every input name must resolve to a real, non-supply node and every
+    primary input must be covered — checked up front so a typo in one
+    ``.vec`` line fails fast with the offending vector named, instead of
+    surfacing as a deep engine error (possibly from inside a worker
+    process) after other vectors were already analyzed.
+    """
+    for vector in vectors:
+        try:
+            analyzer._normalize_inputs(vector.inputs)
+        except ReproError as exc:
+            raise SweepError(
+                f"vector {vector.label!r}: {exc}") from exc
+
+
 def run_sweep(network: Network,
               source: Union[VectorSource, Iterable[Vector]],
               model: Optional[DelayModel] = None,
@@ -102,13 +122,20 @@ def run_sweep(network: Network,
               initial_states: Optional[StateMap] = None,
               slope_quantum: float = 0.0,
               watch: Optional[List[str]] = None,
-              analyzer: Optional[TimingAnalyzer] = None) -> SweepResult:
+              analyzer: Optional[TimingAnalyzer] = None,
+              jobs: int = 1,
+              parallel_config=None) -> SweepResult:
     """Run every vector of *source* through one shared analyzer.
 
     Pass an existing *analyzer* to extend a previous sweep with its
     caches already warm (its network/model settings win); otherwise one
     is built from the other arguments.  *watch* restricts the worst-
     arrival ranking to the named nodes (e.g. the outputs that matter).
+
+    ``jobs > 1`` shards the vectors across that many worker processes,
+    each owning a warm analyzer clone (scenario sharding, DESIGN.md
+    §5c); results and reports are byte-identical to ``jobs=1``, and the
+    executor's stats land on :attr:`SweepResult.parallel`.
     """
     if analyzer is None:
         analyzer = TimingAnalyzer(network, model=model, states=states,
@@ -119,8 +146,14 @@ def run_sweep(network: Network,
     vectors = list(source)
     if not vectors:
         raise SweepError("vector source produced no vectors")
-    raw = [vector.inputs for vector in vectors]
-    results = analyzer.analyze_many(raw)
+    _validate_vectors(analyzer, vectors)
+
+    if jobs > 1 and len(vectors) > 1:
+        results = _analyze_sharded(analyzer, vectors, jobs,
+                                   parallel_config, sweep)
+    else:
+        raw = [vector.inputs for vector in vectors]
+        results = analyzer.analyze_many(raw)
     for vector, result in zip(vectors, results):
         worst_event, worst_arrival = result.worst(nodes=watch)
         sweep.outcomes.append(ScenarioOutcome(
@@ -129,6 +162,35 @@ def run_sweep(network: Network,
         if result.perf is not None:
             sweep.batch_perf.add(vector.label, result.perf)
     return sweep
+
+
+def _analyze_sharded(analyzer: TimingAnalyzer, vectors: List[Vector],
+                     jobs: int, parallel_config,
+                     sweep: SweepResult) -> List[TimingResult]:
+    """Scenario-sharded analysis: contiguous vector blocks per worker."""
+    from ..parallel import AnalyzerSpec, ParallelConfig, run_vectors_sharded
+
+    config = parallel_config or ParallelConfig()
+    config.jobs = jobs
+    spec = AnalyzerSpec.from_analyzer(analyzer)
+    items = [(position, vector.label, vector.inputs)
+             for position, vector in enumerate(vectors)]
+    with analyzer.perf.timer("analyze_batch"):
+        outcomes, pperf = run_vectors_sharded(spec, items, config)
+    sweep.parallel = pperf
+
+    results: List[TimingResult] = []
+    for position, arrivals, counters, timers in outcomes:
+        perf = PerfCounters(counters=dict(counters), timers=dict(timers))
+        analyzer.perf.merge(perf)
+        results.append(TimingResult(network=analyzer.network,
+                                    model_name=analyzer.model.name,
+                                    arrivals=arrivals, perf=perf))
+    analyzer.perf.incr("batch_scenarios", len(results))
+    if analyzer.perf.parallel is None:
+        analyzer.perf.parallel = ParallelPerf()
+    analyzer.perf.parallel.merge(pperf)
+    return results
 
 
 def run_scenarios(network: Network, scenarios: Iterable, **kwargs

@@ -20,7 +20,8 @@ from .adders import (
     full_adder,
     ripple_carry_adder,
 )
-from .datapath import decoder, decoder_output_names, shift_register
+from .datapath import (decoder, decoder_output_names, shift_register,
+                       wide_datapath, wide_datapath_input_names)
 from .pla import Cube, PLASpec, pla, seven_segment_spec
 
 __all__ = [
@@ -43,6 +44,8 @@ __all__ = [
     "decoder",
     "decoder_output_names",
     "shift_register",
+    "wide_datapath",
+    "wide_datapath_input_names",
     "Cube",
     "PLASpec",
     "pla",

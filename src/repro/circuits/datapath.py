@@ -73,3 +73,33 @@ def shift_register(tech: Technology, stages: int, dynamic: bool = True,
 
 def decoder_output_names(address_bits: int) -> List[str]:
     return [f"y{w}" for w in range(2 ** address_bits)]
+
+
+def wide_datapath(tech: Technology, slices: int, bits: int = 8,
+                  name: Optional[str] = None) -> Network:
+    """*slices* independent ripple-carry adder bit-slices, side by side.
+
+    The parallel-execution showcase circuit: a real datapath is many
+    identical slices with no carries between them (each has its own), so
+    every topological level of the stage graph holds ``slices`` × the
+    stages of one adder — wide fronts the level-front sharder can spread
+    across worker processes.  A lone rca32's carry chain, by contrast,
+    serializes past the first couple of levels.
+
+    Ports: ``s{k}.a{i}``, ``s{k}.b{i}``, ``s{k}.cin`` per slice ``k``.
+    """
+    from .adders import ripple_carry_adder
+
+    if slices < 1:
+        raise NetlistError("need at least one datapath slice")
+    net = Network(tech, name=name or f"widepath{slices}x{bits}")
+    one = ripple_carry_adder(tech, bits)
+    for k in range(slices):
+        net.merge_from(one, prefix=f"s{k}.")
+    return net
+
+
+def wide_datapath_input_names(slices: int, bits: int = 8) -> List[str]:
+    from .adders import adder_input_names
+    return [f"s{k}.{name}" for k in range(slices)
+            for name in adder_input_names(bits)]

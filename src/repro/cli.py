@@ -145,6 +145,11 @@ def cmd_switch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_jobs(jobs: int) -> None:
+    if jobs < 1:
+        raise ReproError(f"--jobs must be at least 1, got {jobs}")
+
+
 def cmd_timing(args: argparse.Namespace) -> int:
     tech = _tech(args.tech, characterized=not args.no_characterize)
     network = _load(args.netlist, tech)
@@ -156,7 +161,13 @@ def cmd_timing(args: argparse.Namespace) -> int:
         inputs[name] = with_default_slope(spec, slope)
     analyzer = TimingAnalyzer(network, model=model,
                               slope_quantum=args.slope_quantum)
-    result = analyzer.analyze(inputs)
+    _check_jobs(args.jobs)
+    if args.jobs > 1:
+        from .parallel import parallel_analyze
+        result = parallel_analyze(network, inputs, jobs=args.jobs,
+                                  analyzer=analyzer)
+    else:
+        result = analyzer.analyze(inputs)
 
     if args.profile and result.perf is not None:
         print(result.perf.format_table("analysis perf counters"))
@@ -224,9 +235,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     network = _load(args.netlist, tech)
     model = MODELS[args.model]()
     slope = parse_value(args.slope) if args.slope else 0.0
+    _check_jobs(args.jobs)
     source = _sweep_source(args, network, slope)
     sweep = run_sweep(network, source, model=model,
-                      slope_quantum=args.slope_quantum, watch=args.watch)
+                      slope_quantum=args.slope_quantum, watch=args.watch,
+                      jobs=args.jobs)
     if args.profile:
         print(format_sweep_profile(sweep))
         print()
@@ -300,6 +313,9 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FRACTION",
                    help="relative slope quantization for the delay-model "
                         "memo cache (e.g. 0.05; default 0 = exact)")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="worker processes for level-front stage sharding "
+                        "(default 1 = serial; results are identical)")
     p.set_defaults(func=cmd_timing)
 
     p = sub.add_parser(
@@ -338,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FRACTION",
                    help="relative slope quantization for the delay-model "
                         "memo cache (e.g. 0.05; default 0 = exact)")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="worker processes for scenario sharding (default "
+                        "1 = serial; reports are byte-identical)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("hazards", help="charge-sharing hazard scan")

@@ -122,8 +122,19 @@ def _nmos_inverter(tech: Technology) -> Tuple[Network, float]:
     return net, load
 
 
-def _pass_fixture(kind: DeviceKind):
-    def build(tech: Technology) -> Tuple[Network, float]:
+class _pass_fixture:
+    """Pass-gate fixture builder for *kind*.
+
+    A class (not a closure) so characterization results — and with them
+    characterized :class:`Technology` objects — stay picklable; the
+    parallel subsystem ships them to worker processes.
+    """
+
+    def __init__(self, kind: DeviceKind):
+        self.kind = kind
+
+    def __call__(self, tech: Technology) -> Tuple[Network, float]:
+        kind = self.kind
         net = Network(tech, name=f"char-pass-{kind.value}")
         if tech.has_kind(DeviceKind.PMOS):
             w, l = _cmos.PASS_W, _cmos.PASS_L
@@ -135,8 +146,6 @@ def _pass_fixture(kind: DeviceKind):
         net.add_capacitor("out", "gnd", load)
         net.mark_input("in")
         return net, load
-
-    return build
 
 
 def fixtures_for(tech: Technology) -> List[Fixture]:

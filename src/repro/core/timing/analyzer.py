@@ -55,7 +55,7 @@ from typing import (
 from ...errors import TimingError
 from ...netlist import Network
 from ...netlist.stages import Stage
-from ...perf import PerfCounters
+from ...perf import PerfCounters, StageCostModel
 from ...rctree import RCTree
 from ...switchlevel import Logic
 from ...tech import Transition
@@ -286,6 +286,9 @@ class TimingAnalyzer:
         self._delay_cache: Dict[Tuple, StageDelay] = {}
         # Per-stage reverse index: trigger event -> candidates it affects.
         self._trigger_index: Dict[int, Dict[Event, List[_IndexEntry]]] = {}
+        #: observed delay candidates per stage — the cost model the
+        #: parallel chunker balances level fronts with (repro.parallel)
+        self.stage_costs = StageCostModel()
 
     # ------------------------------------------------------------------
 
@@ -299,6 +302,7 @@ class TimingAnalyzer:
         self._trees.clear()
         self._delay_cache.clear()
         self._trigger_index.clear()
+        self.stage_costs.clear()
         with self.perf.timer("stage_graph_build"):
             self.graph = StageGraph.build(self.network)
 
@@ -611,6 +615,7 @@ class TimingAnalyzer:
                        ranks: Dict[Event, Tuple[int, int]]) -> List[Event]:
         """Recompute every internal-node arrival; return changed events."""
         changed: List[Event] = []
+        considered = 0
         for node in sorted(stage.internal_nodes):
             for transition in _TRANSITIONS:
                 if not self._event_allowed(node, transition):
@@ -624,6 +629,7 @@ class TimingAnalyzer:
                                                trigger, arrivals)
                         if made is None:
                             continue
+                        considered += 1
                         arrival, rank = made
                         if best is None or self._beats(arrival, rank,
                                                        best, best_rank):
@@ -633,7 +639,47 @@ class TimingAnalyzer:
                 event = Event(node, transition)
                 if self._commit(event, best, best_rank, arrivals, ranks):
                     changed.append(event)
+        self.stage_costs.observe(stage.index, considered)
         return changed
+
+    def stage_candidates(self, stage: Stage,
+                         arrivals: Mapping[Event, Arrival]
+                         ) -> List[Tuple[Event, Arrival, Tuple[int, int]]]:
+        """Best candidate per (internal node, transition), no commit.
+
+        Unlike :meth:`_evaluate_full` this evaluates against a *snapshot*
+        of upstream arrivals and never mutates analyzer or arrival state —
+        the form the parallel level-front executor needs: workers compute
+        candidates against the front's settled inputs and the parent
+        merges them with the same deterministic tie-break the serial
+        engine uses.  On an acyclic stage graph the two evaluation styles
+        commit identical fixpoints (a stage's triggers all live in
+        strictly earlier levels, so the snapshot *is* the final state).
+        """
+        out: List[Tuple[Event, Arrival, Tuple[int, int]]] = []
+        considered = 0
+        for node in sorted(stage.internal_nodes):
+            for transition in _TRANSITIONS:
+                if not self._event_allowed(node, transition):
+                    continue
+                best: Optional[Arrival] = None
+                best_rank = _PRIMARY_RANK
+                paths = self._stage_paths(stage, node, transition)
+                for order, path in enumerate(paths):
+                    for pos, trigger in enumerate(path.triggers):
+                        made = self._candidate(stage, path, order, pos,
+                                               trigger, arrivals)
+                        if made is None:
+                            continue
+                        considered += 1
+                        arrival, rank = made
+                        if best is None or self._beats(arrival, rank,
+                                                       best, best_rank):
+                            best, best_rank = arrival, rank
+                if best is not None:
+                    out.append((Event(node, transition), best, best_rank))
+        self.stage_costs.observe(stage.index, considered)
+        return out
 
     def _evaluate_incremental(self, stage: Stage, events: Set[Event],
                               arrivals: Dict[Event, Arrival],
@@ -649,6 +695,7 @@ class TimingAnalyzer:
                 by_target.setdefault(target, []).append(entry)
 
         changed: List[Event] = []
+        considered = 0
         for target in sorted(by_target, key=lambda e: (
                 e.node, _TRANSITION_ORDER[e.transition])):
             entries = sorted(by_target[target],
@@ -661,6 +708,7 @@ class TimingAnalyzer:
                                        arrivals)
                 if made is None:
                     continue
+                considered += 1
                 arrival, rank = made
                 if best is None or self._beats(arrival, rank, best,
                                                best_rank):
@@ -669,6 +717,7 @@ class TimingAnalyzer:
                 continue
             if self._commit(target, best, best_rank, arrivals, ranks):
                 changed.append(target)
+        self.stage_costs.observe(stage.index, considered)
         return changed
 
 

@@ -1,0 +1,46 @@
+"""Worker-process execution subsystem (DESIGN.md §5c).
+
+Two sharding strategies behind one executor API:
+
+* **level-front stage sharding** (:func:`parallel_analyze`) — a single
+  analysis, each topological level of the stage graph split into
+  cost-balanced chunks evaluated by a process pool, merged
+  deterministically; bit-identical to the serial engine on acyclic
+  graphs, recorded serial fallback on feedback graphs.
+* **scenario sharding** (:func:`run_vectors_sharded`, used by
+  :func:`repro.batch.run_sweep` with ``jobs > 1``) — sweep vectors fan
+  out in contiguous blocks to workers that each own a warm analyzer
+  clone, so the batch engine's cache amortization survives per worker.
+
+Both ride :class:`ParallelExecutor`: crash/timeout detection, pool
+rebuild with retry, and graceful serial fallback in the parent — never a
+wrong or missing answer — with everything observable through
+:class:`~repro.perf.ParallelPerf`.
+"""
+
+from .chunking import (balanced_chunks, chunk_weight, contiguous_chunks,
+                       structural_weight)
+from .executor import (PARENT_SLOT, ParallelConfig, ParallelExecutor,
+                       PoolFailure)
+from .level_front import parallel_analyze
+from .scenario import run_vectors_sharded
+from .worker import (CRASH_FILE_ENV, HANG_FILE_ENV, AnalyzerSpec,
+                     decode_arrivals, encode_arrivals)
+
+__all__ = [
+    "AnalyzerSpec",
+    "CRASH_FILE_ENV",
+    "HANG_FILE_ENV",
+    "PARENT_SLOT",
+    "ParallelConfig",
+    "ParallelExecutor",
+    "PoolFailure",
+    "balanced_chunks",
+    "chunk_weight",
+    "contiguous_chunks",
+    "decode_arrivals",
+    "encode_arrivals",
+    "parallel_analyze",
+    "run_vectors_sharded",
+    "structural_weight",
+]

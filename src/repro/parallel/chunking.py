@@ -1,0 +1,99 @@
+"""Cost-model-driven partitioning of work across worker processes.
+
+Naive round-robin sharding of a level front is only balanced when every
+stage costs the same to evaluate — and they don't: a stage's evaluation
+cost is its path count times its trigger count, which spans orders of
+magnitude between an inverter and a wide pass network.  The chunkers
+here take explicit per-item weights (observed candidate counts from
+:class:`~repro.perf.StageCostModel` when available, structural estimates
+when cold) and pack items into near-equal-*cost* chunks.
+
+Two shapes are provided:
+
+* :func:`balanced_chunks` — LPT (longest-processing-time-first) greedy
+  bin packing, the classic 4/3-approximation for makespan.  Used for
+  level fronts, where items are independent and order-free.
+* :func:`contiguous_chunks` — contiguous runs with near-equal weight.
+  Used for scenario sweeps, where keeping a worker's vectors contiguous
+  preserves the cache-warming order of the serial sweep.
+
+Both are deterministic: identical inputs always produce identical
+chunks, which the reproducibility guarantees of the parallel subsystem
+rest on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+from ..netlist.stages import Stage
+
+
+def structural_weight(stage: Stage) -> float:
+    """Cold-start cost estimate of one stage's evaluation.
+
+    Path enumeration cost grows with the channel graph size and the
+    number of targets, so device count × internal-node count is a cheap
+    monotone proxy (exact costs replace it after the first visit).
+    """
+    return float(max(len(stage.transistors), 1)
+                 * max(len(stage.internal_nodes), 1))
+
+
+def balanced_chunks(weights: Sequence[float], jobs: int) -> List[List[int]]:
+    """Partition item indices into ≤ *jobs* chunks of near-equal weight.
+
+    LPT greedy: place the heaviest remaining item on the lightest chunk,
+    ties broken by item index and chunk number.  Returns non-empty chunks
+    of ascending indices, ordered by chunk number — fully deterministic.
+    """
+    if jobs < 1:
+        raise ValueError(f"need at least one chunk, got jobs={jobs}")
+    count = len(weights)
+    if count == 0:
+        return []
+    jobs = min(jobs, count)
+    order = sorted(range(count), key=lambda i: (-float(weights[i]), i))
+    loads = [(0.0, chunk) for chunk in range(jobs)]
+    heapq.heapify(loads)
+    assignment: List[List[int]] = [[] for _ in range(jobs)]
+    for index in order:
+        load, chunk = heapq.heappop(loads)
+        assignment[chunk].append(index)
+        heapq.heappush(loads, (load + float(weights[index]), chunk))
+    for chunk in assignment:
+        chunk.sort()
+    return [chunk for chunk in assignment if chunk]
+
+
+def contiguous_chunks(weights: Sequence[float],
+                      jobs: int) -> List[Tuple[int, int]]:
+    """Split ``range(len(weights))`` into ≤ *jobs* contiguous ``(lo, hi)``
+    runs of near-equal weight (``hi`` exclusive), every run non-empty."""
+    if jobs < 1:
+        raise ValueError(f"need at least one chunk, got jobs={jobs}")
+    count = len(weights)
+    if count == 0:
+        return []
+    jobs = min(jobs, count)
+    total = sum(float(w) for w in weights)
+    target = total / jobs if total > 0 else 0.0
+    chunks: List[Tuple[int, int]] = []
+    start = 0
+    acc = 0.0
+    for index in range(count):
+        acc += float(weights[index])
+        remaining_items = count - index - 1
+        remaining_chunks = jobs - len(chunks) - 1
+        if (remaining_chunks > 0 and acc >= target
+                and remaining_items >= remaining_chunks):
+            chunks.append((start, index + 1))
+            start = index + 1
+            acc = 0.0
+    chunks.append((start, count))
+    return chunks
+
+
+def chunk_weight(weights: Sequence[float], indices: Sequence[int]) -> float:
+    return sum(float(weights[i]) for i in indices)

@@ -1,0 +1,198 @@
+"""Process-pool executor with crash detection, retry, and serial fallback.
+
+The contract of :meth:`ParallelExecutor.run_chunks` is *never a wrong or
+missing answer*: a dispatch either returns the results of every task or
+raises the genuine analysis error the serial engine would have raised.
+The failure ladder is
+
+1. dispatch the tasks to the pool and gather with an optional deadline;
+2. on a pool failure (worker crashed, chunk timed out, pool broken), log
+   a fallback event, tear the pool down, rebuild it, and retry the whole
+   dispatch — up to ``max_retries`` times;
+3. when retries are exhausted, run every task in the parent process via
+   the caller-supplied serial function, which shares none of the pool
+   machinery and therefore cannot fail the same way.
+
+Analysis errors (:class:`~repro.errors.ReproError` raised inside a
+worker) are *not* retried: they are deterministic properties of the
+input, so they propagate immediately, exactly as the serial engine would
+raise them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..perf import DispatchStat, ParallelPerf
+from .worker import AnalyzerSpec, initialize_worker
+
+#: worker slot used in stats for chunks the parent ran itself
+PARENT_SLOT = -1
+
+
+@dataclass
+class ParallelConfig:
+    """Tunables of the parallel subsystem.
+
+    ``chunk_timeout`` bounds one whole dispatch (a level front or a
+    sweep scatter), not a single task; ``None`` disables the deadline.
+    ``start_method`` ``None`` picks ``fork`` where the platform offers it
+    (cheapest: the worker inherits the parent's imports) and ``spawn``
+    otherwise.  ``min_front`` is the smallest level front worth
+    dispatching — below it the parent evaluates inline, since pool IPC
+    costs more than a couple of stage evaluations.
+    """
+
+    jobs: int = 1
+    chunk_timeout: Optional[float] = None
+    max_retries: int = 1
+    start_method: Optional[str] = None
+    min_front: int = 8
+
+    def resolved_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
+
+class PoolFailure(Exception):
+    """A dispatch failed for pool reasons (crash, timeout, broken pipe)."""
+
+
+class ParallelExecutor:
+    """A reusable worker pool bound to one :class:`AnalyzerSpec`.
+
+    Create once per parallel run (or share across runs on the same
+    analyzer configuration), dispatch any number of chunk fan-outs
+    through :meth:`run_chunks`, and :meth:`shutdown` when done — the
+    class is also a context manager.
+    """
+
+    def __init__(self, spec: AnalyzerSpec, config: ParallelConfig):
+        self.config = config
+        self._payload = spec.to_payload()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._slot_of_pid: Dict[int, int] = {}
+        self.pools_built = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = multiprocessing.get_context(
+                self.config.resolved_start_method())
+            self._pool = ProcessPoolExecutor(
+                max_workers=max(self.config.jobs, 1),
+                mp_context=context,
+                initializer=initialize_worker,
+                initargs=(self._payload,),
+            )
+            self.pools_built += 1
+        return self._pool
+
+    def _abandon_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def slot_of(self, pid: int) -> int:
+        """Small stable per-pool worker number for a worker pid."""
+        slot = self._slot_of_pid.get(pid)
+        if slot is None:
+            slot = len(self._slot_of_pid)
+            self._slot_of_pid[pid] = slot
+        return slot
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _gather(self, fn: Callable, tasks: Sequence[Tuple]) -> List[Tuple]:
+        pool = self._ensure_pool()
+        deadline = (time.monotonic() + self.config.chunk_timeout
+                    if self.config.chunk_timeout else None)
+        futures = [pool.submit(fn, task) for task in tasks]
+        results: List[Tuple] = []
+        try:
+            for future in futures:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(deadline - time.monotonic(), 0.0)
+                results.append(future.result(timeout=remaining))
+        except ReproError:
+            # Deterministic analysis error: the serial engine would raise
+            # the same thing, so surface it instead of retrying.
+            raise
+        except FutureTimeout:
+            self._abandon_pool()
+            raise PoolFailure(
+                f"chunk dispatch exceeded {self.config.chunk_timeout:g}s "
+                "timeout") from None
+        except BrokenProcessPool:
+            self._abandon_pool()
+            raise PoolFailure("a worker process died mid-dispatch") from None
+        except Exception as exc:
+            self._abandon_pool()
+            raise PoolFailure(f"pool dispatch failed: {exc}") from exc
+        return results
+
+    def run_chunks(self, fn: Callable, tasks: Sequence[Tuple], label: str,
+                   perf: ParallelPerf,
+                   serial_fn: Callable[[Tuple], Tuple]) -> List[Tuple]:
+        """Run *tasks* through *fn* in the pool, falling back as needed.
+
+        Returns one result per task, in task order.  *serial_fn* must
+        accept a task tuple and return the same shape *fn* would.
+        """
+        if not tasks:
+            return []
+        attempts = max(self.config.max_retries, 0) + 1
+        for attempt in range(attempts):
+            try:
+                return self._gather(fn, tasks)
+            except PoolFailure as exc:
+                remaining = attempts - attempt - 1
+                if remaining > 0:
+                    perf.retries += 1
+                    perf.record_fallback(
+                        f"{label}: {exc}; rebuilding pool "
+                        f"(retry {attempt + 1}/{attempts - 1})")
+                else:
+                    perf.record_fallback(
+                        f"{label}: {exc}; retries exhausted, "
+                        "running chunks serially in the parent")
+        return [serial_fn(task) for task in tasks]
+
+
+def record_dispatch(perf: ParallelPerf, executor: Optional[ParallelExecutor],
+                    label: str, results: Sequence[Tuple],
+                    items: Sequence[int],
+                    weights: Sequence[float]) -> DispatchStat:
+    """Fold one fan-out's results into *perf* as a :class:`DispatchStat`.
+
+    Each result tuple starts with ``(chunk_id, pid, seconds, ...)``;
+    ``pid`` ``PARENT_SLOT`` marks a chunk the parent ran after fallback.
+    """
+    dispatch = perf.dispatch(label)
+    for result, count, weight in zip(results, items, weights):
+        _chunk_id, pid, seconds = result[0], result[1], result[2]
+        slot = (PARENT_SLOT if pid == PARENT_SLOT
+                else (executor.slot_of(pid) if executor else pid))
+        perf.record_chunk(dispatch, slot, count, weight, seconds)
+    return dispatch

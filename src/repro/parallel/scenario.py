@@ -1,0 +1,123 @@
+"""Scenario sharding: many sweep vectors, one warm analyzer per worker.
+
+The batch sweep's whole point (DESIGN.md §5b) is cache amortization:
+one :class:`~repro.core.timing.TimingAnalyzer` analyzes every vector, so
+path enumerations, RC trees, and the delay-model memo are paid once.
+Scenario sharding preserves that per worker — each pool process rebuilds
+the analyzer once (pool initializer) and then analyzes its whole block of
+vectors against it, so a pool of *N* workers pays the warm-up *N* times
+and everything after that is warm.
+
+Vectors are split into *contiguous* blocks (not round-robin) so each
+worker sees vectors in the same order the serial sweep would — the cache
+warming pattern carries over — and every result returns tagged with its
+original position, so the parent reassembles the exact serial ordering
+regardless of which worker finished first.  This module deliberately
+speaks plain ``(position, label, inputs)`` tuples so it does not import
+:mod:`repro.batch` (which imports it).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.timing import TimingAnalyzer
+from ..core.timing.analyzer import Arrival, Event
+from ..perf import ParallelPerf
+from .chunking import contiguous_chunks
+from .executor import (PARENT_SLOT, ParallelConfig, ParallelExecutor,
+                       record_dispatch)
+from .worker import AnalyzerSpec, run_vector_chunk
+
+#: (position, label, input map) — one sweep vector, order-tagged
+VectorItem = Tuple[int, str, Mapping]
+#: (position, arrivals, counters, timers) — one analyzed vector
+VectorOutcome = Tuple[int, Dict[Event, Arrival], Dict[str, int],
+                      Dict[str, float]]
+
+
+def _serial_vector_chunk(spec: AnalyzerSpec):
+    """Parent-process stand-in for :func:`~.worker.run_vector_chunk`.
+
+    The analyzer is built lazily — only a dispatch that exhausts its
+    retries pays for it — and shared across every fallback task so the
+    parent keeps the same warm-cache behaviour a worker would have had.
+    """
+    state: Dict[str, TimingAnalyzer] = {}
+
+    def run(task: Tuple) -> Tuple:
+        chunk_id, vectors = task
+        analyzer = state.get("analyzer")
+        if analyzer is None:
+            analyzer = state["analyzer"] = spec.build()
+        results = []
+        start = time.perf_counter()
+        for position, _label, inputs in vectors:
+            outcome = analyzer.analyze(inputs)
+            outcome_perf = outcome.perf
+            results.append((position, outcome.arrivals,
+                            dict(outcome_perf.counters) if outcome_perf
+                            else {},
+                            dict(outcome_perf.timers) if outcome_perf
+                            else {}))
+        elapsed = time.perf_counter() - start
+        return (chunk_id, PARENT_SLOT, elapsed, tuple(results))
+
+    return run
+
+
+def run_vectors_sharded(spec: AnalyzerSpec, items: Sequence[VectorItem],
+                        config: ParallelConfig,
+                        executor: Optional[ParallelExecutor] = None
+                        ) -> Tuple[List[VectorOutcome], ParallelPerf]:
+    """Analyze *items* across the pool; results come back position-sorted.
+
+    Returns one :data:`VectorOutcome` per item in ascending original
+    position — byte-identical input to the serial sweep's report path —
+    plus the run's :class:`ParallelPerf`.
+    """
+    pperf = ParallelPerf(jobs=max(config.jobs, 1), strategy="scenario",
+                         start_method=config.resolved_start_method())
+    if not items:
+        return [], pperf
+
+    serial_fn = _serial_vector_chunk(spec)
+
+    if config.jobs <= 1 or len(items) < 2:
+        pperf.strategy = "serial"
+        pperf.start_method = ""
+        result = serial_fn((0, tuple(items)))
+        dispatch = pperf.dispatch("sweep (serial)")
+        pperf.record_chunk(dispatch, PARENT_SLOT, len(items),
+                           float(len(items)), result[2])
+        return sorted(result[3], key=lambda r: r[0]), pperf
+
+    weights = [1.0] * len(items)
+    spans = contiguous_chunks(weights, config.jobs)
+    tasks = [(chunk_id, tuple(items[lo:hi]))
+             for chunk_id, (lo, hi) in enumerate(spans)]
+
+    own_executor = executor is None
+    if executor is None:
+        executor = ParallelExecutor(spec, config)
+    try:
+        results = executor.run_chunks(
+            run_vector_chunk, tasks,
+            f"sweep scatter ({len(items)} vectors)", pperf, serial_fn)
+    finally:
+        if own_executor:
+            executor.shutdown()
+
+    record_dispatch(
+        pperf, executor,
+        f"sweep scatter ({len(items)} vectors, {len(tasks)} blocks)",
+        results,
+        items=[hi - lo for lo, hi in spans],
+        weights=[float(hi - lo) for lo, hi in spans])
+
+    outcomes: List[VectorOutcome] = []
+    for result in results:
+        outcomes.extend(result[3])
+    outcomes.sort(key=lambda r: r[0])
+    return outcomes, pperf

@@ -1,0 +1,232 @@
+"""Worker-process side of the parallel subsystem.
+
+A worker never re-parses anything from disk: the parent ships one
+:class:`AnalyzerSpec` — the pickled ingredients of its own
+:class:`~repro.core.timing.TimingAnalyzer` (network object, model,
+sensitization states, slope quantum) — through the pool initializer, and
+the worker rebuilds a private analyzer from it once.  That analyzer then
+lives for the pool's lifetime, so its caches (path enumerations, RC
+trees, the delay-model memo) stay warm across every task the worker
+handles — the per-worker version of the PR-2 cache amortization.
+
+Task functions are module-level (picklable by reference):
+
+* :func:`run_stage_chunk` — evaluate a chunk of a level front against a
+  snapshot of upstream arrivals and return the best candidates;
+* :func:`run_vector_chunk` — analyze a block of sweep vectors and return
+  their full arrival maps.
+
+Fault injection for the robustness tests rides on two environment
+variables (see :func:`maybe_inject_fault`): a crash file whose atomic
+removal makes exactly one worker die mid-task, and a hang file whose
+contents make a worker sleep past the parent's chunk timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.models import DelayModel
+from ..core.timing import TimingAnalyzer
+from ..core.timing.analyzer import Arrival, Event
+from ..core.timing.paths import StateMap
+from ..netlist import Network
+from ..perf import PerfCounters, StageCostModel
+from ..tech import Transition
+
+#: tests point this at a file; the worker that wins its removal dies
+CRASH_FILE_ENV = "REPRO_PARALLEL_CRASH_FILE"
+#: tests point this at a file containing a float: seconds to stall
+HANG_FILE_ENV = "REPRO_PARALLEL_HANG_FILE"
+
+_TRANSITIONS: Tuple[Transition, ...] = tuple(Transition)
+
+#: a (node, transition index, time, slope) quadruple — the wire format of
+#: one upstream arrival shipped to a stage-chunk task
+ArrivalWire = Tuple[str, int, float, float]
+
+
+@dataclass
+class AnalyzerSpec:
+    """Everything needed to rebuild a :class:`TimingAnalyzer` elsewhere.
+
+    The spec (and therefore the :class:`~repro.netlist.Network` and the
+    model) must pickle cleanly — ``tests/test_parallel_worker.py`` keeps
+    that guarantee pinned down, since the whole subsystem rides on it.
+    """
+
+    network: Network
+    model: DelayModel
+    states: Optional[StateMap] = None
+    initial_states: Optional[StateMap] = None
+    incremental: bool = True
+    slope_quantum: float = 0.0
+
+    @classmethod
+    def from_analyzer(cls, analyzer: TimingAnalyzer) -> "AnalyzerSpec":
+        return cls(network=analyzer.network, model=analyzer.model,
+                   states=analyzer.states,
+                   initial_states=analyzer.initial_states,
+                   incremental=analyzer.incremental,
+                   slope_quantum=analyzer.slope_quantum)
+
+    def build(self) -> TimingAnalyzer:
+        return TimingAnalyzer(self.network, model=self.model,
+                              states=self.states,
+                              initial_states=self.initial_states,
+                              incremental=self.incremental,
+                              slope_quantum=self.slope_quantum)
+
+    def to_payload(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "AnalyzerSpec":
+        spec = pickle.loads(payload)
+        if not isinstance(spec, cls):
+            raise TypeError(f"worker payload is not an AnalyzerSpec: "
+                            f"{type(spec).__name__}")
+        return spec
+
+
+@dataclass
+class _WorkerState:
+    analyzer: TimingAnalyzer
+    tasks_handled: int = 0
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def initialize_worker(payload: bytes) -> None:
+    """Pool initializer: rebuild the analyzer from the shipped spec."""
+    global _STATE
+    spec = AnalyzerSpec.from_payload(payload)
+    _STATE = _WorkerState(analyzer=spec.build())
+
+
+def _state() -> _WorkerState:
+    if _STATE is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("worker used before initialize_worker()")
+    return _STATE
+
+
+def maybe_inject_fault() -> None:
+    """Honour the fault-injection environment hooks (tests only).
+
+    The crash file is removed *before* dying so exactly one worker (the
+    one that wins the atomic ``os.remove``) crashes per file — the retry
+    that follows finds the file gone and succeeds.
+    """
+    crash = os.environ.get(CRASH_FILE_ENV)
+    if crash:
+        try:
+            os.remove(crash)
+        except OSError:
+            pass
+        else:
+            os._exit(43)
+    hang = os.environ.get(HANG_FILE_ENV)
+    if hang and os.path.exists(hang):
+        try:
+            with open(hang) as handle:
+                seconds = float(handle.read().strip() or "1.0")
+        except (OSError, ValueError):
+            seconds = 1.0
+        time.sleep(min(seconds, 30.0))
+
+
+# ---------------------------------------------------------------------------
+# Wire helpers
+# ---------------------------------------------------------------------------
+
+def encode_arrivals(arrivals: Mapping[Event, Arrival],
+                    nodes: frozenset) -> Tuple[ArrivalWire, ...]:
+    """Pack the (time, slope) of every arrival on *nodes* for shipping."""
+    wire: List[ArrivalWire] = []
+    for event, arrival in arrivals.items():
+        if event.node in nodes:
+            wire.append((event.node, _TRANSITIONS.index(event.transition),
+                         arrival.time, arrival.slope))
+    return tuple(wire)
+
+
+def decode_arrivals(wire: Tuple[ArrivalWire, ...]) -> Dict[Event, Arrival]:
+    """Rebuild a minimal arrival map (time + slope are all candidates
+    read from upstream events; causal links stay in the parent)."""
+    return {
+        Event(node, _TRANSITIONS[transition]): Arrival(time=time, slope=slope)
+        for node, transition, time, slope in wire
+    }
+
+
+# ---------------------------------------------------------------------------
+# Task functions (must stay module-level: they are pickled by reference)
+# ---------------------------------------------------------------------------
+
+def run_stage_chunk(args: Tuple) -> Tuple:
+    """Evaluate one chunk of a level front.
+
+    ``args``  = (chunk_id, stage_indexes, arrival_wire)
+    returns   = (chunk_id, pid, seconds, stage_results, stage_costs,
+                 counters) where ``stage_results`` is a tuple of
+    ``(stage_index, ((event, arrival, rank), ...))`` in ascending stage
+    order — the deterministic merge order the parent commits in.
+    """
+    maybe_inject_fault()
+    chunk_id, stage_indexes, arrival_wire = args
+    state = _state()
+    analyzer = state.analyzer
+    state.tasks_handled += 1
+    arrivals = decode_arrivals(arrival_wire)
+    stages = analyzer.graph.stages
+
+    perf = PerfCounters()
+    costs = StageCostModel()
+    saved_costs = analyzer.stage_costs
+    analyzer.stage_costs = costs
+    analyzer._run_perf = perf
+    start = time.perf_counter()
+    try:
+        stage_results = tuple(
+            (index, tuple(analyzer.stage_candidates(stages[index], arrivals)))
+            for index in sorted(stage_indexes)
+        )
+    finally:
+        analyzer._run_perf = None
+        analyzer.stage_costs = saved_costs
+    elapsed = time.perf_counter() - start
+    saved_costs.merge(costs)
+    return (chunk_id, os.getpid(), elapsed, stage_results,
+            dict(costs.observed), dict(perf.counters))
+
+
+def run_vector_chunk(args: Tuple) -> Tuple:
+    """Analyze one block of sweep vectors against the worker's analyzer.
+
+    ``args``  = (chunk_id, ((position, label, inputs), ...))
+    returns   = (chunk_id, pid, seconds, results) where each result is
+    ``(position, arrivals, counters, timers)`` — the full arrival map, so
+    the parent can reconstruct a complete :class:`TimingResult` (critical
+    paths included) in the original vector order.
+    """
+    maybe_inject_fault()
+    chunk_id, vectors = args
+    state = _state()
+    analyzer = state.analyzer
+    state.tasks_handled += 1
+
+    results = []
+    start = time.perf_counter()
+    for position, _label, inputs in vectors:
+        outcome = analyzer.analyze(inputs)
+        perf = outcome.perf
+        results.append((position, outcome.arrivals,
+                        dict(perf.counters) if perf else {},
+                        dict(perf.timers) if perf else {}))
+    elapsed = time.perf_counter() - start
+    return (chunk_id, os.getpid(), elapsed, tuple(results))

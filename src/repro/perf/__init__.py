@@ -1,5 +1,16 @@
-"""Observability for the hot paths: counters and wall-clock timers."""
+"""Observability for the hot paths: counters, timers, parallel stats."""
 
 from .counters import STANDARD_COUNTERS, BatchPerf, PerfCounters, merge_all
+from .parallel_stats import ChunkStat, DispatchStat, ParallelPerf
+from .stage_costs import StageCostModel
 
-__all__ = ["STANDARD_COUNTERS", "BatchPerf", "PerfCounters", "merge_all"]
+__all__ = [
+    "STANDARD_COUNTERS",
+    "BatchPerf",
+    "ChunkStat",
+    "DispatchStat",
+    "ParallelPerf",
+    "PerfCounters",
+    "StageCostModel",
+    "merge_all",
+]

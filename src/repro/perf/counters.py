@@ -21,6 +21,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
+from .parallel_stats import ParallelPerf
+
 #: Counters the timing engine emits, in display order, with a short gloss.
 STANDARD_COUNTERS: Dict[str, str] = {
     "stage_visits": "worklist pops that evaluated a stage",
@@ -44,6 +46,8 @@ class PerfCounters:
 
     counters: Dict[str, int] = field(default_factory=dict)
     timers: Dict[str, float] = field(default_factory=dict)
+    #: stats of the parallel executor, when the run used one
+    parallel: Optional[ParallelPerf] = None
 
     # -- counters -----------------------------------------------------------
 
@@ -79,21 +83,31 @@ class PerfCounters:
             self.incr(name, value)
         for name, value in other.timers.items():
             self.add_time(name, value)
+        if other.parallel is not None:
+            if self.parallel is None:
+                self.parallel = ParallelPerf()
+            self.parallel.merge(other.parallel)
 
     def snapshot(self) -> "PerfCounters":
         return PerfCounters(counters=dict(self.counters),
-                            timers=dict(self.timers))
+                            timers=dict(self.timers),
+                            parallel=self.parallel)
 
     def reset(self) -> None:
         self.counters.clear()
         self.timers.clear()
+        self.parallel = None
 
     # -- export -------------------------------------------------------------
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready ``{"counters": {...}, "timers": {...}}``."""
-        return {"counters": dict(self.counters),
-                "timers": {k: float(v) for k, v in self.timers.items()}}
+        payload: Dict[str, object] = {
+            "counters": dict(self.counters),
+            "timers": {k: float(v) for k, v in self.timers.items()}}
+        if self.parallel is not None:
+            payload["parallel"] = self.parallel.as_dict()
+        return payload
 
     @property
     def cache_hit_rate(self) -> Optional[float]:
@@ -118,6 +132,8 @@ class PerfCounters:
             lines.append(f"{'model cache hit rate':<{width}}  {rate:>11.1%}")
         for name in sorted(self.timers):
             lines.append(f"{name:<{width}}  {self.timers[name]:>11.6f}s")
+        if self.parallel is not None:
+            lines.extend(self.parallel.format_lines())
         return "\n".join(lines)
 
 

@@ -1,0 +1,191 @@
+"""Observability for the parallel execution subsystem.
+
+Every parallel run — a level-front analysis or a scenario-sharded sweep —
+produces one :class:`ParallelPerf`: the pool configuration that actually
+ran, one :class:`DispatchStat` per fan-out (a level front, or the sweep's
+single scatter) with per-chunk sizes/weights/wall times, and a log of
+every robustness event (worker crash, chunk timeout, pool rebuild, serial
+fallback).  The headline derived number is the *load-imbalance ratio*:
+slowest chunk over mean chunk wall time within a dispatch (1.0 = perfect
+balance), aggregated over dispatches weighted by their wall time.
+
+The object rides on :class:`~repro.perf.PerfCounters` (and therefore on
+``TimingResult.perf`` / ``SweepResult``) so ``--profile`` shows it next
+to the engine counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ChunkStat:
+    """One unit of dispatched work: a stage chunk or a vector block."""
+
+    worker: int          #: pool slot that ran it; -1 = parent (serial)
+    items: int           #: stages / vectors in the chunk
+    weight: float        #: predicted cost weight used by the chunker
+    seconds: float = 0.0  #: wall time measured inside the worker
+
+
+@dataclass
+class DispatchStat:
+    """One fan-out of chunks (one level front, or one sweep scatter)."""
+
+    label: str
+    chunks: List[ChunkStat] = field(default_factory=list)
+
+    @property
+    def items(self) -> int:
+        return sum(c.items for c in self.chunks)
+
+    @property
+    def seconds(self) -> float:
+        """Critical-path wall time of the dispatch: the slowest chunk."""
+        return max((c.seconds for c in self.chunks), default=0.0)
+
+    @property
+    def imbalance(self) -> Optional[float]:
+        """Slowest chunk over mean chunk time; 1.0 is perfect balance."""
+        times = [c.seconds for c in self.chunks]
+        if len(times) < 2:
+            return None
+        mean = sum(times) / len(times)
+        if mean <= 0.0:
+            return None
+        return max(times) / mean
+
+
+@dataclass
+class ParallelPerf:
+    """Complete stats of one parallel execution."""
+
+    jobs: int = 1
+    strategy: str = "serial"        #: "level-front" | "scenario" | "serial"
+    start_method: str = ""          #: multiprocessing start method used
+    dispatches: List[DispatchStat] = field(default_factory=list)
+    #: human-readable robustness log: crashes, timeouts, rebuilds, fallbacks
+    fallback_events: List[str] = field(default_factory=list)
+    retries: int = 0                #: pool rebuild-and-retry attempts
+    serial_chunks: int = 0          #: chunks the parent ran after fallback
+    #: worker slot -> accumulated busy seconds (slot -1 = parent fallback)
+    worker_seconds: Dict[int, float] = field(default_factory=dict)
+
+    # -- recording ----------------------------------------------------------
+
+    def dispatch(self, label: str) -> DispatchStat:
+        stat = DispatchStat(label=label)
+        self.dispatches.append(stat)
+        return stat
+
+    def record_chunk(self, dispatch: DispatchStat, worker: int, items: int,
+                     weight: float, seconds: float) -> None:
+        dispatch.chunks.append(ChunkStat(worker=worker, items=items,
+                                         weight=weight, seconds=seconds))
+        self.worker_seconds[worker] = (
+            self.worker_seconds.get(worker, 0.0) + seconds)
+        if worker < 0:
+            self.serial_chunks += 1
+
+    def record_fallback(self, event: str) -> None:
+        self.fallback_events.append(event)
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def fell_back(self) -> bool:
+        return bool(self.fallback_events)
+
+    @property
+    def chunk_count(self) -> int:
+        return sum(len(d.chunks) for d in self.dispatches)
+
+    @property
+    def load_imbalance(self) -> Optional[float]:
+        """Wall-time-weighted mean of per-dispatch imbalance ratios."""
+        weighted = 0.0
+        total = 0.0
+        for dispatch in self.dispatches:
+            ratio = dispatch.imbalance
+            if ratio is None:
+                continue
+            span = dispatch.seconds or 1e-12
+            weighted += ratio * span
+            total += span
+        if total <= 0.0:
+            return None
+        return weighted / total
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(self.worker_seconds.values())
+
+    # -- aggregation / export ----------------------------------------------
+
+    def merge(self, other: "ParallelPerf") -> None:
+        """Fold another run's stats in (e.g. per-scenario snapshots)."""
+        self.jobs = max(self.jobs, other.jobs)
+        if other.strategy != "serial":
+            self.strategy = other.strategy
+        if other.start_method:
+            self.start_method = other.start_method
+        self.dispatches.extend(other.dispatches)
+        self.fallback_events.extend(other.fallback_events)
+        self.retries += other.retries
+        self.serial_chunks += other.serial_chunks
+        for worker, seconds in other.worker_seconds.items():
+            self.worker_seconds[worker] = (
+                self.worker_seconds.get(worker, 0.0) + seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "strategy": self.strategy,
+            "start_method": self.start_method,
+            "dispatches": [
+                {
+                    "label": d.label,
+                    "items": d.items,
+                    "seconds": d.seconds,
+                    "imbalance": d.imbalance,
+                    "chunks": [
+                        {"worker": c.worker, "items": c.items,
+                         "weight": c.weight, "seconds": c.seconds}
+                        for c in d.chunks
+                    ],
+                }
+                for d in self.dispatches
+            ],
+            "load_imbalance": self.load_imbalance,
+            "fallback_events": list(self.fallback_events),
+            "retries": self.retries,
+            "serial_chunks": self.serial_chunks,
+            "worker_seconds": {str(k): v
+                               for k, v in self.worker_seconds.items()},
+        }
+
+    def format_lines(self) -> List[str]:
+        lines = [
+            f"parallel: {self.strategy}, {self.jobs} job(s)"
+            + (f", start method {self.start_method}"
+               if self.start_method else ""),
+            f"  dispatches {len(self.dispatches)}  "
+            f"chunks {self.chunk_count}  "
+            f"busy {self.busy_seconds:.4f}s",
+        ]
+        ratio = self.load_imbalance
+        if ratio is not None:
+            lines.append(f"  load-imbalance ratio {ratio:.2f} "
+                         "(slowest chunk / mean, 1.00 = perfect)")
+        if self.retries:
+            lines.append(f"  retries {self.retries}")
+        if self.serial_chunks:
+            lines.append(f"  serial-fallback chunks {self.serial_chunks}")
+        for event in self.fallback_events:
+            lines.append(f"  ! {event}")
+        return lines
+
+    def format_table(self, title: str = "parallel perf") -> str:
+        return "\n".join([title, "-" * len(title)] + self.format_lines())

@@ -1,0 +1,71 @@
+"""Per-stage cost model for load-balanced parallel chunking.
+
+The global :class:`~repro.perf.PerfCounters` record *how much* delay-model
+work a run did; this model records *where* — how many (path, trigger)
+delay candidates each stage's evaluation considered.  The analyzer feeds
+it on every stage visit, so after one analysis the weights reflect the
+real per-stage evaluation cost (path count × trigger count × memo
+behaviour), and the parallel chunker can pack level fronts into
+near-equal-cost chunks instead of near-equal-count ones.
+
+Before a stage has ever been evaluated (the cold first front) the model
+falls back to a structural estimate supplied by the caller — device count
+times internal-node count is the usual proxy, cheap and monotone with the
+true path enumeration cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class StageCostModel:
+    """Observed evaluation cost per stage index, with structural fallback."""
+
+    #: stage index -> accumulated candidate evaluations
+    observed: Dict[int, float] = field(default_factory=dict)
+    #: stage index -> number of visits the accumulation covers
+    samples: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, index: int, cost: float) -> None:
+        """Record one stage visit that evaluated *cost* delay candidates."""
+        self.observed[index] = self.observed.get(index, 0.0) + float(cost)
+        self.samples[index] = self.samples.get(index, 0) + 1
+
+    def merge(self, other: "StageCostModel") -> None:
+        """Fold in costs observed elsewhere (e.g. inside a worker)."""
+        for index, cost in other.observed.items():
+            self.observed[index] = self.observed.get(index, 0.0) + cost
+        for index, count in other.samples.items():
+            self.samples[index] = self.samples.get(index, 0) + count
+
+    def merge_raw(self, costs: Dict[int, float]) -> None:
+        """Fold in a plain ``{stage index: candidates}`` mapping."""
+        for index, cost in costs.items():
+            self.observe(index, cost)
+
+    def mean_cost(self, index: int) -> Optional[float]:
+        """Mean observed candidates per visit, or None when never seen."""
+        count = self.samples.get(index, 0)
+        if not count:
+            return None
+        return self.observed[index] / count
+
+    def weight(self, index: int, fallback: float = 1.0) -> float:
+        """Chunking weight of a stage: observed mean cost or *fallback*.
+
+        Weights are clamped to a small positive floor so a stage that
+        evaluated zero candidates (fully pruned) still occupies a slot.
+        """
+        mean = self.mean_cost(index)
+        value = fallback if mean is None else mean
+        return max(float(value), 1e-6)
+
+    def __len__(self) -> int:
+        return len(self.observed)
+
+    def clear(self) -> None:
+        self.observed.clear()
+        self.samples.clear()

@@ -216,12 +216,16 @@ class TestSweepCommand:
 
     def test_vector_with_unknown_node_exit_code(self, nand_file, tmp_path,
                                                 capsys):
-        vecs = self._vec_file(tmp_path, "a=0 b=0 ghost=1n\n")
+        vecs = self._vec_file(tmp_path, "a=0 b=0 ghost=1n\n@bad a=0 b=0 "
+                                        "bogus=2n\n")
         code = main(["sweep", nand_file, "--tech", "cmos3",
                      "--no-characterize", "--vectors", vecs])
         err = capsys.readouterr().err
         assert code == 2
         assert "error:" in err
+        # The message names the offending vector and the unknown node.
+        assert "v0" in err
+        assert "unknown node 'ghost'" in err
 
     def test_missing_source_is_error(self, nand_file, capsys):
         code = main(["sweep", nand_file, "--tech", "cmos3",
@@ -321,3 +325,51 @@ class TestCharacterizeCommand:
         data = json.loads(out_file.read_text())
         assert "tables" in data
         assert data["source"] == "characterized:cmos3"
+
+
+class TestJobsFlag:
+    """--jobs N must change nothing about the output, only who computes it."""
+
+    def _vec_file(self, tmp_path, text):
+        path = tmp_path / "vecs.txt"
+        path.write_text(text)
+        return str(path)
+
+    def test_sweep_jobs_output_is_byte_identical(self, nand_file, tmp_path,
+                                                 capsys):
+        vecs = self._vec_file(
+            tmp_path, "@t0 a=0 b=0\n@t1 a=300p b=0\n@t2 a=0 b=150p\n"
+                      "@t3 a=70p b=70p\n")
+        base = ["sweep", nand_file, "--tech", "cmos3", "--no-characterize",
+                "--vectors", vecs]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == serial
+
+    def test_sweep_jobs_profile_reports_parallel(self, nand_file, tmp_path,
+                                                 capsys):
+        vecs = self._vec_file(tmp_path, "@t0 a=0 b=0\n@t1 a=300p b=0\n")
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--vectors", vecs,
+                     "--jobs", "2", "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parallel: scenario" in out
+
+    def test_timing_jobs_output_is_byte_identical(self, nand_file, capsys):
+        base = ["timing", nand_file, "--tech", "cmos3", "--no-characterize",
+                "--input", "a=0", "--input", "b=120p", "--report", "y"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_jobs_must_be_positive(self, nand_file, capsys):
+        code = main(["timing", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--input", "a=0", "--input",
+                     "b=0", "--jobs", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

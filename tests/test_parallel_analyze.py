@@ -1,0 +1,141 @@
+"""Bit-identity and robustness tests for level-front stage sharding."""
+
+import pytest
+
+from repro.circuits import (
+    adder_input_names,
+    bootstrap_driver,
+    ripple_carry_adder,
+    wide_datapath,
+    wide_datapath_input_names,
+)
+from repro.core.timing import TimingAnalyzer
+from repro.errors import TimingError
+from repro.parallel import ParallelConfig, parallel_analyze
+from repro.tech import CMOS3, NMOS4
+
+
+def assert_identical(a, b):
+    assert set(a.arrivals) == set(b.arrivals)
+    for event in a.arrivals:
+        assert a.arrivals[event].time == b.arrivals[event].time, event
+        assert a.arrivals[event].slope == b.arrivals[event].slope, event
+
+
+@pytest.fixture(scope="module")
+def rca():
+    return ripple_carry_adder(CMOS3, 4)
+
+
+@pytest.fixture(scope="module")
+def rca_inputs():
+    return {name: 0.0 for name in adder_input_names(4)}
+
+
+@pytest.fixture(scope="module")
+def serial_result(rca, rca_inputs):
+    return TimingAnalyzer(rca).analyze(rca_inputs)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_matches_serial(self, rca, rca_inputs, serial_result, jobs):
+        result = parallel_analyze(
+            rca, rca_inputs, jobs=jobs,
+            config=ParallelConfig(jobs=jobs, min_front=1))
+        assert_identical(serial_result, result)
+        assert result.perf.parallel.strategy == "level-front"
+        assert not result.perf.parallel.fell_back
+
+    def test_wide_datapath(self):
+        net = wide_datapath(CMOS3, slices=4, bits=2)
+        inputs = {n: 0.0 for n in wide_datapath_input_names(4, 2)}
+        serial = TimingAnalyzer(net).analyze(inputs)
+        result = parallel_analyze(
+            net, inputs, jobs=2, config=ParallelConfig(jobs=2, min_front=2))
+        assert_identical(serial, result)
+
+    def test_staggered_inputs(self, rca, serial_result):
+        inputs = {name: i * 0.1e-9
+                  for i, name in enumerate(adder_input_names(4))}
+        serial = TimingAnalyzer(rca).analyze(inputs)
+        result = parallel_analyze(
+            rca, inputs, jobs=2, config=ParallelConfig(jobs=2, min_front=1))
+        assert_identical(serial, result)
+
+    def test_critical_path_identical(self, rca, rca_inputs, serial_result):
+        result = parallel_analyze(
+            rca, rca_inputs, jobs=2,
+            config=ParallelConfig(jobs=2, min_front=1))
+        s_event, s_arr = serial_result.worst()
+        p_event, p_arr = result.worst()
+        assert s_event == p_event and s_arr.time == p_arr.time
+        s_chain = serial_result.critical_path(s_event.node,
+                                              s_event.transition)
+        p_chain = result.critical_path(p_event.node, p_event.transition)
+        assert [e for e, _ in s_chain] == [e for e, _ in p_chain]
+
+
+class TestFallbacks:
+    def test_jobs_one_is_serial_passthrough(self, rca, rca_inputs,
+                                            serial_result):
+        result = parallel_analyze(rca, rca_inputs, jobs=1)
+        assert_identical(serial_result, result)
+        assert result.perf.parallel.strategy == "serial"
+        assert not result.perf.parallel.fell_back
+
+    def test_feedback_graph_falls_back_to_serial(self):
+        net = bootstrap_driver(NMOS4)
+        analyzer = TimingAnalyzer(net)
+        assert analyzer.graph.has_feedback()
+        serial = TimingAnalyzer(net).analyze({"in": 0.0})
+        result = parallel_analyze(net, {"in": 0.0}, jobs=2)
+        assert_identical(serial, result)
+        pp = result.perf.parallel
+        assert pp.fell_back
+        assert any("feedback" in event for event in pp.fallback_events)
+
+    def test_bad_inputs_raise_like_serial(self, rca):
+        with pytest.raises(TimingError):
+            parallel_analyze(rca, {"a0": 0.0}, jobs=2,
+                             config=ParallelConfig(jobs=2, min_front=1))
+
+
+class TestWarmAnalyzerReuse:
+    def test_observed_costs_drive_second_run(self, rca, rca_inputs,
+                                             serial_result):
+        analyzer = TimingAnalyzer(rca)
+        config = ParallelConfig(jobs=2, min_front=1)
+        first = parallel_analyze(rca, rca_inputs, jobs=2,
+                                 analyzer=analyzer, config=config)
+        assert len(analyzer.stage_costs) > 0
+        second = parallel_analyze(rca, rca_inputs, jobs=2,
+                                  analyzer=analyzer, config=config)
+        assert_identical(serial_result, first)
+        assert_identical(serial_result, second)
+
+    def test_small_fronts_run_inline(self, rca, rca_inputs, serial_result):
+        # min_front above every front width: no dispatch, no pool, still
+        # the parallel code path and still identical.
+        result = parallel_analyze(
+            rca, rca_inputs, jobs=2,
+            config=ParallelConfig(jobs=2, min_front=10_000))
+        assert_identical(serial_result, result)
+        assert result.perf.parallel.chunk_count == 0
+
+
+class TestParallelPerfShape:
+    def test_stats_recorded(self, rca, rca_inputs):
+        result = parallel_analyze(
+            rca, rca_inputs, jobs=2,
+            config=ParallelConfig(jobs=2, min_front=1))
+        pp = result.perf.parallel
+        assert pp.jobs == 2
+        assert pp.dispatches, "no dispatch stats recorded"
+        assert pp.chunk_count >= len(pp.dispatches)
+        assert pp.busy_seconds > 0.0
+        payload = pp.as_dict()
+        assert payload["strategy"] == "level-front"
+        assert payload["dispatches"]
+        table = result.perf.format_table()
+        assert "parallel: level-front" in table

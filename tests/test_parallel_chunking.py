@@ -1,0 +1,143 @@
+"""Tests for the cost-model chunkers and the per-stage cost model."""
+
+import pytest
+
+from repro.core.timing import TimingAnalyzer
+from repro.circuits import ripple_carry_adder
+from repro.parallel import (
+    balanced_chunks,
+    chunk_weight,
+    contiguous_chunks,
+    structural_weight,
+)
+from repro.perf import StageCostModel
+from repro.tech import CMOS3
+
+
+class TestBalancedChunks:
+    def test_partitions_every_index_once(self):
+        chunks = balanced_chunks([3.0, 1.0, 4.0, 1.0, 5.0, 9.0], 3)
+        flat = sorted(i for chunk in chunks for i in chunk)
+        assert flat == list(range(6))
+
+    def test_deterministic(self):
+        weights = [7.0, 2.0, 2.0, 7.0, 1.0, 5.0, 3.0]
+        assert balanced_chunks(weights, 3) == balanced_chunks(weights, 3)
+
+    def test_balances_skewed_weights(self):
+        # One heavy item and many light ones: LPT must isolate the heavy
+        # item instead of stacking light ones on top of it.
+        weights = [100.0] + [1.0] * 10
+        chunks = balanced_chunks(weights, 2)
+        loads = sorted(chunk_weight(weights, c) for c in chunks)
+        assert loads == [10.0, 100.0]
+
+    def test_beats_round_robin_on_skew(self):
+        weights = [50.0, 1.0, 50.0, 1.0, 50.0, 1.0]
+        chunks = balanced_chunks(weights, 2)
+        lpt_makespan = max(chunk_weight(weights, c) for c in chunks)
+        rr = [[0, 2, 4], [1, 3, 5]]  # round-robin stacks all heavy items
+        rr_makespan = max(chunk_weight(weights, c) for c in rr)
+        assert lpt_makespan < rr_makespan
+
+    def test_more_jobs_than_items(self):
+        chunks = balanced_chunks([1.0, 2.0], 8)
+        assert len(chunks) == 2
+        assert all(len(c) == 1 for c in chunks)
+
+    def test_empty_and_invalid(self):
+        assert balanced_chunks([], 4) == []
+        with pytest.raises(ValueError):
+            balanced_chunks([1.0], 0)
+
+    def test_chunks_are_sorted_ascending(self):
+        chunks = balanced_chunks([5.0, 1.0, 5.0, 1.0, 5.0], 2)
+        for chunk in chunks:
+            assert chunk == sorted(chunk)
+
+
+class TestContiguousChunks:
+    def test_covers_range_contiguously(self):
+        spans = contiguous_chunks([1.0] * 10, 3)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 10
+        for (_, hi), (lo, _) in zip(spans, spans[1:]):
+            assert hi == lo
+
+    def test_all_nonempty(self):
+        for jobs in (1, 2, 3, 7, 10, 20):
+            spans = contiguous_chunks([1.0] * 7, jobs)
+            assert all(hi > lo for lo, hi in spans)
+            assert len(spans) <= min(jobs, 7)
+
+    def test_near_equal_uniform_split(self):
+        spans = contiguous_chunks([1.0] * 12, 4)
+        sizes = [hi - lo for lo, hi in spans]
+        assert sizes == [3, 3, 3, 3]
+
+    def test_weighted_split_tracks_cost(self):
+        # Heavy head: the first chunk should stop early.
+        weights = [10.0, 10.0] + [1.0] * 10
+        spans = contiguous_chunks(weights, 2)
+        first = sum(weights[lo:hi][0] for lo, hi in spans[:1])
+        assert spans[0][1] <= 4  # not half the items
+
+    def test_invalid(self):
+        assert contiguous_chunks([], 2) == []
+        with pytest.raises(ValueError):
+            contiguous_chunks([1.0], -1)
+
+
+class TestStructuralWeight:
+    def test_positive_and_monotone(self):
+        net = ripple_carry_adder(CMOS3, 2)
+        stages = TimingAnalyzer(net).graph.stages
+        weights = [structural_weight(s) for s in stages]
+        assert all(w >= 1.0 for w in weights)
+        big = max(stages, key=lambda s: len(s.transistors))
+        small = min(stages, key=lambda s: len(s.transistors))
+        assert structural_weight(big) >= structural_weight(small)
+
+
+class TestStageCostModel:
+    def test_observe_and_mean(self):
+        model = StageCostModel()
+        model.observe(3, 10)
+        model.observe(3, 20)
+        assert model.mean_cost(3) == pytest.approx(15.0)
+        assert model.mean_cost(99) is None
+
+    def test_weight_falls_back_when_cold(self):
+        model = StageCostModel()
+        assert model.weight(5, fallback=42.0) == pytest.approx(42.0)
+        model.observe(5, 8)
+        assert model.weight(5, fallback=42.0) == pytest.approx(8.0)
+
+    def test_weight_floor(self):
+        model = StageCostModel()
+        model.observe(1, 0)
+        assert model.weight(1) > 0.0
+
+    def test_merge(self):
+        a, b = StageCostModel(), StageCostModel()
+        a.observe(1, 4)
+        b.observe(1, 6)
+        b.observe(2, 3)
+        a.merge(b)
+        assert a.mean_cost(1) == pytest.approx(5.0)
+        assert a.mean_cost(2) == pytest.approx(3.0)
+
+    def test_merge_raw_and_clear(self):
+        model = StageCostModel()
+        model.merge_raw({7: 12.0})
+        assert len(model) == 1
+        model.clear()
+        assert len(model) == 0
+
+    def test_analyzer_populates_costs(self):
+        net = ripple_carry_adder(CMOS3, 2)
+        analyzer = TimingAnalyzer(net)
+        from repro.circuits import adder_input_names
+        analyzer.analyze({n: 0.0 for n in adder_input_names(2)})
+        assert len(analyzer.stage_costs) > 0
+        assert all(v >= 0 for v in analyzer.stage_costs.observed.values())

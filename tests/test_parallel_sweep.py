@@ -1,0 +1,171 @@
+"""Scenario-sharded sweeps: determinism, reproducibility, robustness.
+
+The fault-injection tests use the worker module's environment hooks: a
+crash file whose atomic removal kills exactly one worker mid-task, and a
+hang file that stalls workers past the parent's chunk timeout.  Both
+must end in the same answer the serial sweep gives, with the recovery
+visible in :class:`~repro.perf.ParallelPerf`.
+"""
+
+import os
+
+import pytest
+
+from repro.batch import RandomVectors, format_sweep_summary, run_sweep
+from repro.batch.vectors import ExplicitVectors, Vector
+from repro.circuits import adder_input_names, ripple_carry_adder
+from repro.errors import SweepError
+from repro.parallel import (
+    CRASH_FILE_ENV,
+    HANG_FILE_ENV,
+    AnalyzerSpec,
+    ParallelConfig,
+    run_vectors_sharded,
+)
+from repro.core.timing import TimingAnalyzer
+from repro.tech import CMOS3
+
+BITS = 4
+VECTORS = 8
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def net():
+    return ripple_carry_adder(CMOS3, BITS)
+
+
+def source():
+    return RandomVectors(input_names=adder_input_names(BITS),
+                         count=VECTORS, seed=SEED, span=1e-9, slope=0.2e-9)
+
+
+@pytest.fixture(scope="module")
+def serial_sweep(net):
+    return run_sweep(net, source())
+
+
+class TestDeterminism:
+    def test_summary_bytes_identical_across_jobs(self, net, serial_sweep):
+        reference = format_sweep_summary(serial_sweep)
+        for jobs in (2, 4):
+            sweep = run_sweep(net, source(), jobs=jobs)
+            assert format_sweep_summary(sweep) == reference
+            assert not sweep.parallel.fell_back
+
+    def test_outcome_order_is_vector_order(self, net, serial_sweep):
+        sweep = run_sweep(net, source(), jobs=2)
+        assert ([o.label for o in sweep.outcomes]
+                == [o.label for o in serial_sweep.outcomes])
+
+    def test_arrivals_bit_identical(self, net, serial_sweep):
+        sweep = run_sweep(net, source(), jobs=2)
+        for ours, ref in zip(sweep.outcomes, serial_sweep.outcomes):
+            assert set(ours.result.arrivals) == set(ref.result.arrivals)
+            for event, arrival in ref.result.arrivals.items():
+                mine = ours.result.arrivals[event]
+                assert mine.time == arrival.time
+                assert mine.slope == arrival.slope
+
+    def test_seeded_reruns_reproduce(self, net):
+        first = format_sweep_summary(run_sweep(net, source(), jobs=2))
+        second = format_sweep_summary(run_sweep(net, source(), jobs=2))
+        assert first == second
+
+    def test_watch_respected(self, net):
+        watch = [f"s{BITS - 1}.s0", "cout"]
+        serial = run_sweep(net, source(), watch=["cout"])
+        sharded = run_sweep(net, source(), watch=["cout"], jobs=2)
+        assert (format_sweep_summary(serial)
+                == format_sweep_summary(sharded))
+
+
+class TestRobustness:
+    def test_worker_crash_recovers_with_correct_results(
+            self, net, serial_sweep, tmp_path, monkeypatch):
+        crash = tmp_path / "crash-now"
+        crash.write_text("")
+        monkeypatch.setenv(CRASH_FILE_ENV, str(crash))
+        sweep = run_sweep(net, source(), jobs=2)
+        assert format_sweep_summary(sweep) == format_sweep_summary(
+            serial_sweep)
+        pp = sweep.parallel
+        assert pp.fell_back, "crash left no trace in ParallelPerf"
+        assert pp.retries >= 1
+        assert any("died" in event for event in pp.fallback_events)
+        assert not crash.exists(), "the crashing worker removes the file"
+
+    def test_hang_times_out_into_serial_fallback(
+            self, net, serial_sweep, tmp_path, monkeypatch):
+        hang = tmp_path / "hang-now"
+        hang.write_text("5.0")
+        monkeypatch.setenv(HANG_FILE_ENV, str(hang))
+        config = ParallelConfig(chunk_timeout=0.25, max_retries=0)
+        sweep = run_sweep(net, source(), jobs=2, parallel_config=config)
+        monkeypatch.delenv(HANG_FILE_ENV)
+        assert format_sweep_summary(sweep) == format_sweep_summary(
+            serial_sweep)
+        pp = sweep.parallel
+        assert pp.fell_back
+        assert any("timeout" in event for event in pp.fallback_events)
+        assert pp.serial_chunks > 0, "parent fallback not recorded"
+
+    def test_analysis_error_propagates_not_swallowed(self, net):
+        # A vector that covers no primary inputs is a genuine analysis
+        # error: it must raise, never be 'recovered' into a wrong answer.
+        bad = ExplicitVectors([Vector(label="bad", inputs={})])
+        with pytest.raises(SweepError):
+            run_sweep(net, bad, jobs=2)
+
+
+class TestVectorValidation:
+    def test_unknown_node_raises_sweep_error(self, net):
+        vectors = ExplicitVectors([
+            Vector(label="ok",
+                   inputs={n: 0.0 for n in adder_input_names(BITS)}),
+            Vector(label="typo",
+                   inputs={**{n: 0.0 for n in adder_input_names(BITS)},
+                           "ghost": 1e-9}),
+        ])
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(net, vectors)
+        message = str(excinfo.value)
+        assert "typo" in message and "ghost" in message
+
+    def test_validation_runs_before_any_dispatch(self, net):
+        # Same bad source with jobs=2: the error must surface before any
+        # worker pool spins up (cheap to verify: it raises identically).
+        vectors = ExplicitVectors([
+            Vector(label="typo", inputs={"ghost": 0.0})])
+        with pytest.raises(SweepError, match="typo"):
+            run_sweep(net, vectors, jobs=2)
+
+    def test_missing_primary_input_names_the_vector(self, net):
+        vectors = ExplicitVectors([
+            Vector(label="partial", inputs={"a0": 0.0})])
+        with pytest.raises(SweepError, match="partial"):
+            run_sweep(net, vectors)
+
+
+class TestShardRunner:
+    def test_direct_runner_orders_and_reports(self, net):
+        analyzer = TimingAnalyzer(net)
+        spec = AnalyzerSpec.from_analyzer(analyzer)
+        vectors = list(source())
+        items = [(i, v.label, v.inputs) for i, v in enumerate(vectors)]
+        outcomes, pperf = run_vectors_sharded(
+            spec, items, ParallelConfig(jobs=2))
+        assert [o[0] for o in outcomes] == list(range(len(items)))
+        assert pperf.strategy == "scenario"
+        assert pperf.chunk_count == 2
+        assert pperf.load_imbalance is not None
+
+    def test_jobs_one_runs_in_parent(self, net):
+        spec = AnalyzerSpec.from_analyzer(TimingAnalyzer(net))
+        vectors = list(source())[:3]
+        items = [(i, v.label, v.inputs) for i, v in enumerate(vectors)]
+        outcomes, pperf = run_vectors_sharded(
+            spec, items, ParallelConfig(jobs=1))
+        assert len(outcomes) == 3
+        assert pperf.strategy == "serial"
+        assert pperf.serial_chunks == 1

@@ -1,0 +1,178 @@
+"""Pickling regression tests: workers must never re-parse from disk.
+
+The parallel subsystem rides entirely on shipping an
+:class:`~repro.parallel.AnalyzerSpec` (network + model + states) to
+worker processes as one pickle payload.  These tests pin that guarantee
+down at every layer — raw Network, characterized Technology, the spec
+round-trip, and the rebuilt analyzer's bit-identical behaviour — so a
+future unpicklable attribute (a closure, a lambda, an open handle) fails
+here with a clear message instead of deep inside a pool initializer.
+"""
+
+import pickle
+
+import pytest
+
+from repro.circuits import (
+    adder_input_names,
+    bootstrap_driver,
+    ripple_carry_adder,
+)
+from repro.core.models import characterize_technology
+from repro.core.timing import TimingAnalyzer
+from repro.core.timing.analyzer import Arrival, Event
+from repro.parallel import AnalyzerSpec, decode_arrivals, encode_arrivals
+from repro.parallel import worker as worker_mod
+from repro.switchlevel import Logic, SwitchSimulator
+from repro.tech import CMOS3, NMOS4, Transition
+
+BITS = 4
+
+
+@pytest.fixture
+def net():
+    return ripple_carry_adder(CMOS3, BITS)
+
+
+@pytest.fixture
+def inputs():
+    return {name: 0.0 for name in adder_input_names(BITS)}
+
+
+class TestNetworkPickling:
+    def test_round_trip_preserves_structure(self, net):
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone.name == net.name
+        assert len(clone.nodes) == len(net.nodes)
+        assert len(clone.transistors) == len(net.transistors)
+        assert (sorted(n.name for n in clone.inputs())
+                == sorted(n.name for n in net.inputs()))
+
+    def test_clone_analyzes_identically(self, net, inputs):
+        clone = pickle.loads(pickle.dumps(net))
+        a = TimingAnalyzer(net).analyze(inputs)
+        b = TimingAnalyzer(clone).analyze(inputs)
+        assert set(a.arrivals) == set(b.arrivals)
+        for event in a.arrivals:
+            assert a.arrivals[event].time == b.arrivals[event].time
+            assert a.arrivals[event].slope == b.arrivals[event].slope
+
+    def test_characterized_technology_pickles(self):
+        # Regression: the pass-gate fixture builder used to be a closure,
+        # which made every characterized Technology (and so any analyzer
+        # built on one) unpicklable.
+        for base in (CMOS3, NMOS4):
+            tech = characterize_technology(base)
+            clone = pickle.loads(pickle.dumps(tech))
+            assert clone.name == tech.name
+
+
+class TestAnalyzerSpec:
+    def test_payload_round_trip(self, net):
+        spec = AnalyzerSpec.from_analyzer(TimingAnalyzer(net))
+        clone = AnalyzerSpec.from_payload(spec.to_payload())
+        assert clone.network.name == net.name
+        assert clone.model.name == spec.model.name
+        assert clone.incremental == spec.incremental
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(TypeError):
+            AnalyzerSpec.from_payload(pickle.dumps("not a spec"))
+
+    def test_rebuilt_analyzer_is_equivalent(self, net, inputs):
+        original = TimingAnalyzer(net, slope_quantum=0.05)
+        spec = AnalyzerSpec.from_analyzer(original)
+        rebuilt = AnalyzerSpec.from_payload(spec.to_payload()).build()
+        assert rebuilt.slope_quantum == original.slope_quantum
+        a = original.analyze(inputs)
+        b = rebuilt.analyze(inputs)
+        for event in a.arrivals:
+            assert a.arrivals[event].time == b.arrivals[event].time
+
+    def test_states_survive_the_trip(self, net):
+        sim = SwitchSimulator(net)
+        for name in adder_input_names(BITS):
+            sim.set_input(name, Logic.ZERO)
+        sim.settle()
+        states = {n.name: sim.value(n.name) for n in net.signal_nodes}
+        spec = AnalyzerSpec.from_analyzer(
+            TimingAnalyzer(net, states=states))
+        clone = AnalyzerSpec.from_payload(spec.to_payload())
+        assert clone.states == states
+
+    def test_feedback_network_spec_pickles(self):
+        # Feedback circuits fall back to serial, but their specs must
+        # still ship cleanly (scenario sharding uses them regardless).
+        net = bootstrap_driver(NMOS4)
+        spec = AnalyzerSpec.from_analyzer(TimingAnalyzer(net))
+        assert AnalyzerSpec.from_payload(
+            spec.to_payload()).network.name == net.name
+
+
+class TestArrivalWire:
+    def test_encode_decode_round_trip(self):
+        arrivals = {
+            Event("a", Transition.RISE): Arrival(time=1e-9, slope=2e-10),
+            Event("a", Transition.FALL): Arrival(time=3e-9, slope=1e-10),
+            Event("b", Transition.RISE): Arrival(time=5e-9, slope=0.0),
+        }
+        wire = encode_arrivals(arrivals, frozenset({"a", "b"}))
+        decoded = decode_arrivals(wire)
+        assert set(decoded) == set(arrivals)
+        for event in arrivals:
+            assert decoded[event].time == arrivals[event].time
+            assert decoded[event].slope == arrivals[event].slope
+
+    def test_encode_filters_by_node(self):
+        arrivals = {
+            Event("keep", Transition.RISE): Arrival(time=1.0, slope=0.0),
+            Event("drop", Transition.RISE): Arrival(time=2.0, slope=0.0),
+        }
+        wire = encode_arrivals(arrivals, frozenset({"keep"}))
+        assert {w[0] for w in wire} == {"keep"}
+
+
+class TestWorkerFunctions:
+    """Run the worker entry points in-process against a real payload."""
+
+    def test_initialize_and_run_vector_chunk(self, net, inputs):
+        spec = AnalyzerSpec.from_analyzer(TimingAnalyzer(net))
+        saved = worker_mod._STATE
+        try:
+            worker_mod.initialize_worker(spec.to_payload())
+            task = (0, ((0, "v0", inputs), (1, "v1", inputs)))
+            chunk_id, pid, seconds, results = worker_mod.run_vector_chunk(
+                task)
+            assert chunk_id == 0 and len(results) == 2
+            assert [r[0] for r in results] == [0, 1]
+            reference = TimingAnalyzer(net).analyze(inputs)
+            for _pos, arrivals, counters, _timers in results:
+                assert counters.get("stage_visits", 0) > 0
+                for event in reference.arrivals:
+                    assert (arrivals[event].time
+                            == reference.arrivals[event].time)
+        finally:
+            worker_mod._STATE = saved
+
+    def test_run_stage_chunk_matches_stage_candidates(self, net, inputs):
+        analyzer = TimingAnalyzer(net)
+        serial = analyzer.analyze(inputs)
+        spec = AnalyzerSpec.from_analyzer(analyzer)
+        stage = max(analyzer.graph.stages,
+                    key=lambda s: len(s.internal_nodes))
+        wire = encode_arrivals(serial.arrivals,
+                               stage.gate_inputs | stage.boundary_nodes)
+        saved = worker_mod._STATE
+        try:
+            worker_mod.initialize_worker(spec.to_payload())
+            _cid, _pid, _secs, stage_results, costs, counters = (
+                worker_mod.run_stage_chunk((0, (stage.index,), wire)))
+        finally:
+            worker_mod._STATE = saved
+        assert stage.index in costs
+        assert counters.get("candidates", 0) > 0
+        (index, candidates), = stage_results
+        assert index == stage.index
+        expected = analyzer.stage_candidates(stage, serial.arrivals)
+        assert [(e, a.time, a.slope, r) for e, a, r in candidates] == \
+               [(e, a.time, a.slope, r) for e, a, r in expected]
