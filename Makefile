@@ -12,13 +12,18 @@
 #                   jobs 1/2/4 into BENCH_parallel.json, asserts
 #                   bit-identity across job counts, and enforces the
 #                   >=2x speedup gate on hosts with >=4 CPUs
+#   make perf-kernel    the vectorized-kernel bench: numpy vs python
+#                   kernels on rca32 into BENCH_kernel.json, rca8
+#                   arrival differential at 1e-9, and the >=3x speedup
+#                   gate over the pre-kernel BENCH_timing.json baseline
 #   make check      all of the above, in cheapest-first order
 #   make bench      regenerate every paper table/figure (long)
 
 PYTHONPATH := src
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: test test-slow perf perf-parallel check check-fast bench goldens
+.PHONY: test test-slow perf perf-parallel perf-kernel check check-fast \
+        bench goldens
 
 test:
 	$(PYTEST) -x -q
@@ -33,11 +38,14 @@ perf:
 perf-parallel:
 	$(PYTEST) benchmarks/bench_parallel.py -q -s
 
-check: test test-slow perf perf-parallel
+perf-kernel:
+	$(PYTEST) benchmarks/bench_kernel.py -q -s
+
+check: test test-slow perf perf-parallel perf-kernel
 
 # CI's gate: everything in `check` except the slow tier (analog golden
 # references are too heavy for shared runners).
-check-fast: test perf perf-parallel
+check-fast: test perf perf-parallel perf-kernel
 
 bench:
 	$(PYTEST) benchmarks/ -q -s

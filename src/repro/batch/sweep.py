@@ -124,7 +124,8 @@ def run_sweep(network: Network,
               watch: Optional[List[str]] = None,
               analyzer: Optional[TimingAnalyzer] = None,
               jobs: int = 1,
-              parallel_config=None) -> SweepResult:
+              parallel_config=None,
+              kernel: str = "numpy") -> SweepResult:
     """Run every vector of *source* through one shared analyzer.
 
     Pass an existing *analyzer* to extend a previous sweep with its
@@ -140,7 +141,8 @@ def run_sweep(network: Network,
     if analyzer is None:
         analyzer = TimingAnalyzer(network, model=model, states=states,
                                   initial_states=initial_states,
-                                  slope_quantum=slope_quantum)
+                                  slope_quantum=slope_quantum,
+                                  kernel=kernel)
     sweep = SweepResult(network=analyzer.network,
                         model_name=analyzer.model.name, watch=watch)
     vectors = list(source)

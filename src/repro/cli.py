@@ -160,7 +160,8 @@ def cmd_timing(args: argparse.Namespace) -> int:
         name, spec = _parse_timing_input(token)
         inputs[name] = with_default_slope(spec, slope)
     analyzer = TimingAnalyzer(network, model=model,
-                              slope_quantum=args.slope_quantum)
+                              slope_quantum=args.slope_quantum,
+                              kernel=args.kernel)
     _check_jobs(args.jobs)
     if args.jobs > 1:
         from .parallel import parallel_analyze
@@ -239,7 +240,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     source = _sweep_source(args, network, slope)
     sweep = run_sweep(network, source, model=model,
                       slope_quantum=args.slope_quantum, watch=args.watch,
-                      jobs=args.jobs)
+                      jobs=args.jobs, kernel=args.kernel)
     if args.profile:
         print(format_sweep_profile(sweep))
         print()
@@ -316,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                    help="worker processes for level-front stage sharding "
                         "(default 1 = serial; results are identical)")
+    p.add_argument("--kernel", default="numpy",
+                   choices=("numpy", "python"),
+                   help="RC-tree delay kernel: vectorized tree templates "
+                        "(numpy, default) or the scalar dict-tree "
+                        "reference (python); results agree to 1e-9")
     p.set_defaults(func=cmd_timing)
 
     p = sub.add_parser(
@@ -357,6 +363,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                    help="worker processes for scenario sharding (default "
                         "1 = serial; reports are byte-identical)")
+    p.add_argument("--kernel", default="numpy",
+                   choices=("numpy", "python"),
+                   help="RC-tree delay kernel: vectorized tree templates "
+                        "(numpy, default) or the scalar dict-tree "
+                        "reference (python); results agree to 1e-9")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("hazards", help="charge-sharing hazard scan")

@@ -23,10 +23,11 @@ machinery in :mod:`repro.core.timing.paths`), and answered as a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ...errors import TimingError
-from ...rctree import RCTree
+from ...rctree import RCTree, TimeConstants, TreeTemplate
+from ...rctree import time_constants as _scalar_time_constants
 from ...tech import DeviceKind, Technology, Transition
 
 
@@ -41,7 +42,16 @@ class StageRequest:
         the driven input), edges carry *static* effective resistances for
         the requested transition, nodes carry the capacitance they must
         (dis)charge.  Side branches reachable through conducting devices
-        are included — their capacitance loads the path.
+        are included — their capacitance loads the path.  ``None`` when
+        the request carries a compiled ``template`` instead (the
+        vectorized-kernel path builds no dict trees at all).
+    template:
+        Optional compiled :class:`~repro.rctree.TreeTemplate` of the same
+        structure.  When present, the accessor methods below
+        (:meth:`stage_constants`, :meth:`path_resistance`,
+        :meth:`total_capacitance`) answer from the template's memoized
+        vectorized-kernel results; models written against those
+        accessors are kernel-agnostic.
     target:
         The output node whose crossing is asked about.
     transition:
@@ -57,20 +67,57 @@ class StageRequest:
         The technology (supplies static resistances and slope tables).
     """
 
-    tree: RCTree
+    tree: Optional[RCTree]
     target: str
     transition: Transition
     trigger_kind: DeviceKind
     input_slope: float
     tech: Technology
+    template: Optional[TreeTemplate] = None
 
     def __post_init__(self) -> None:
         if self.input_slope < 0:
             raise TimingError(f"negative input slope {self.input_slope!r}")
-        if not self.tree.contains(self.target):
+        if self.tree is None and self.template is None:
+            raise TimingError(
+                "stage request needs an RC tree or a compiled template"
+            )
+        holder = self.tree if self.tree is not None else self.template
+        if not holder.contains(self.target):
             raise TimingError(
                 f"target {self.target!r} is not in the request's RC tree"
             )
+
+    # -- kernel-agnostic accessors --------------------------------------
+    #
+    # Models that only need the classic RC quantities should go through
+    # these: with a template they are memoized vectorized-kernel lookups,
+    # with a dict tree they fall back to the scalar reference.
+
+    def stage_tree(self) -> RCTree:
+        """The dict-based tree (materialized from the template if the
+        request carries none — for consumers needing the full API)."""
+        if self.tree is not None:
+            return self.tree
+        return self.template.to_rctree()
+
+    def stage_constants(self) -> TimeConstants:
+        """RPH time constants of the target node."""
+        if self.template is not None:
+            return self.template.constants_for(self.target)
+        return _scalar_time_constants(self.tree, self.target)
+
+    def path_resistance(self) -> float:
+        """``R_ii`` from the source down to the target."""
+        if self.template is not None:
+            return self.template.path_resistance(self.target)
+        return self.tree.path_resistance(self.target)
+
+    def total_capacitance(self) -> float:
+        """All capacitance hanging off the stage's tree."""
+        if self.template is not None:
+            return self.template.total_cap()
+        return self.tree.total_cap()
 
 
 @dataclass(frozen=True)
@@ -109,6 +156,19 @@ class DelayModel:
 
     def evaluate(self, request: StageRequest) -> StageDelay:
         raise NotImplementedError
+
+    def evaluate_many(self, requests: "List[StageRequest]"
+                      ) -> "List[StageDelay]":
+        """Answer a batch of stage questions (one result per request,
+        in order).
+
+        The analyzer's candidate loop hands every memo miss of a stage
+        visit over in one call, so a model can amortize shared work
+        across the batch; template-carrying requests already share the
+        per-stage vectorized-kernel results, so the default sequential
+        loop is the right implementation for all built-in models.
+        """
+        return [self.evaluate(request) for request in requests]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

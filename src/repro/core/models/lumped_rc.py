@@ -23,8 +23,8 @@ class LumpedRCModel(DelayModel):
     name = "lumped-rc"
 
     def evaluate(self, request: StageRequest) -> StageDelay:
-        resistance = request.tree.path_resistance(request.target)
-        capacitance = request.tree.total_cap()
+        resistance = request.path_resistance()
+        capacitance = request.total_capacitance()
         delay = resistance * capacitance
         slope = default_step_slope_factor() * delay
         return StageDelay(

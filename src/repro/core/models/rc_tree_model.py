@@ -17,7 +17,7 @@ switches to the bracket midpoint for studies of the raw bounds.
 
 from __future__ import annotations
 
-from ...rctree import delay_bounds_from_constants, time_constants
+from ...rctree import delay_bounds_from_constants
 from .base import DelayModel, StageDelay, StageRequest, default_step_slope_factor
 
 
@@ -34,7 +34,7 @@ class RCTreeModel(DelayModel):
         self.point_estimate = point_estimate
 
     def evaluate(self, request: StageRequest) -> StageDelay:
-        constants = time_constants(request.tree, request.target)
+        constants = request.stage_constants()
         bounds = delay_bounds_from_constants(constants, self.threshold)
         if self.point_estimate == "midpoint":
             delay = bounds.midpoint()

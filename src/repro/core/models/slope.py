@@ -26,7 +26,6 @@ collapse.
 from __future__ import annotations
 
 from ...errors import TechnologyError, TimingError
-from ...rctree import time_constants
 from ...tech import SlopeTableSet
 from .base import DelayModel, StageDelay, StageRequest
 
@@ -43,6 +42,12 @@ class SlopeModel(DelayModel):
         ablation switch."""
         self._tables = tables
         self.propagate_slopes = propagate_slopes
+        # Value-level memo: the answer is a pure function of (table, tau,
+        # effective input slope), and large circuits ask the same numeric
+        # question from many structurally-identical stages.  Keyed on the
+        # table *object* (frozen dataclass), so swapping in new
+        # characterization tables naturally misses.
+        self._memo = {}
 
     def _table_set(self, request: StageRequest) -> SlopeTableSet:
         if self._tables is not None:
@@ -56,7 +61,7 @@ class SlopeModel(DelayModel):
         return tables
 
     def evaluate(self, request: StageRequest) -> StageDelay:
-        constants = time_constants(request.tree, request.target)
+        constants = request.stage_constants()
         tau = constants.t_d
         if tau <= 0:
             raise TimingError(
@@ -64,10 +69,17 @@ class SlopeModel(DelayModel):
             )
         table = self._table_set(request).get(request.trigger_kind,
                                              request.transition)
-        ratio = (request.input_slope / tau) if self.propagate_slopes else 0.0
-        delay = table.delay_factor(ratio) * tau
-        slope = table.slope_factor(ratio) * tau
-        return StageDelay(
+        effective_slope = request.input_slope if self.propagate_slopes else 0.0
+        key = (table, tau, effective_slope)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        ratio = effective_slope / tau
+        delay_factor = table.delay_factor(ratio)
+        slope_factor = table.slope_factor(ratio)
+        delay = delay_factor * tau
+        slope = slope_factor * tau
+        result = self._memo[key] = StageDelay(
             delay=delay,
             output_slope=slope,
             lower=delay,
@@ -76,7 +88,8 @@ class SlopeModel(DelayModel):
             details=(
                 ("tau", tau),
                 ("slope_ratio", ratio),
-                ("delay_factor", table.delay_factor(ratio)),
-                ("slope_factor", table.slope_factor(ratio)),
+                ("delay_factor", delay_factor),
+                ("slope_factor", slope_factor),
             ),
         )
+        return result

@@ -56,13 +56,27 @@ from ...errors import TimingError
 from ...netlist import Network
 from ...netlist.stages import Stage
 from ...perf import PerfCounters, StageCostModel
-from ...rctree import RCTree
+from ...rctree import RCTree, TreeTemplate, kernel_available
 from ...switchlevel import Logic
 from ...tech import Transition
 from ..models import DelayModel, SlopeModel, StageDelay
-from .paths import SensitizedPath, StateMap, Trigger, build_tree, enumerate_paths
+from .paths import (
+    SensitizedPath,
+    StageCaches,
+    StateMap,
+    Trigger,
+    build_tree,
+    compile_template,
+    enumerate_paths,
+)
 from ..models.base import StageRequest
 from .stage_graph import StageGraph
+from .stage_iso import (
+    build_maps,
+    element_map,
+    stage_signature,
+    translate_paths,
+)
 
 #: Arrivals closer than this (relative to the largest magnitude seen) are
 #: considered equal — stops slope jitter from causing endless revisits.
@@ -85,6 +99,26 @@ class Event:
 
     node: str
     transition: Transition
+
+    def __post_init__(self) -> None:
+        # Events key the arrival dicts on every hot engine operation;
+        # computing the hash once here avoids re-running the enum's
+        # Python-level __hash__ on every lookup.
+        object.__setattr__(self, "_hash",
+                           hash((self.node, self.transition)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __getstate__(self):
+        # String hashes are salted per process: drop the cached hash so
+        # an Event unpickled in a worker recomputes it locally.
+        return (self.node, self.transition)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "node", state[0])
+        object.__setattr__(self, "transition", state[1])
+        object.__setattr__(self, "_hash", hash((state[0], state[1])))
 
     def __str__(self) -> str:
         arrow = "↑" if self.transition is Transition.RISE else "↓"
@@ -241,16 +275,27 @@ class TimingAnalyzer:
         results stay deterministic regardless of evaluation order.  The
         default ``0.0`` disables quantization — every distinct slope gets
         its own cache line and results are exact.
+    kernel:
+        ``"numpy"`` (default) compiles each distinct (stage, path, order)
+        tree into a reusable :class:`~repro.rctree.TreeTemplate` and
+        answers delay-model questions through the vectorized RPH kernel —
+        all of a stage's time constants come out of one array pass, and
+        repeat candidates are template cache hits instead of dict-tree
+        rebuilds.  ``"python"`` keeps the original per-node scalar
+        recurrences on dict-based :class:`~repro.rctree.RCTree` objects —
+        the differential reference.  Both kernels agree to 1e-9 relative
+        (``tests/test_kernel_differential.py``); if numpy is not
+        importable the analyzer silently falls back to ``"python"``.
 
     Caching and invalidation
     ------------------------
-    Path enumerations, RC trees, the per-stage trigger index, and the
-    delay-model memo are all keyed on state that is fixed at construction
-    time (network topology, ``states``, the model, the technology), so
-    they live for the analyzer's lifetime and are shared across
-    ``analyze()`` calls — a second run of the same scenario is almost
-    entirely cache hits.  If the network, technology tables, or model are
-    mutated in place, call :meth:`invalidate_caches`.
+    Path enumerations, RC trees, compiled tree templates, the per-stage
+    trigger index, and the delay-model memo are all keyed on state that is
+    fixed at construction time (network topology, ``states``, the model,
+    the technology), so they live for the analyzer's lifetime and are
+    shared across ``analyze()`` calls — a second run of the same scenario
+    is almost entirely cache hits.  If the network, technology tables, or
+    model are mutated in place, call :meth:`invalidate_caches`.
     """
 
     #: Re-evaluations of one stage before declaring a timing loop.  Deep
@@ -263,7 +308,8 @@ class TimingAnalyzer:
                  states: Optional[StateMap] = None,
                  initial_states: Optional[StateMap] = None,
                  incremental: bool = True,
-                 slope_quantum: float = 0.0):
+                 slope_quantum: float = 0.0,
+                 kernel: str = "numpy"):
         self.network = network
         self.model = model if model is not None else SlopeModel()
         self.states = states
@@ -272,6 +318,12 @@ class TimingAnalyzer:
         if slope_quantum < 0:
             raise TimingError(f"negative slope quantum {slope_quantum!r}")
         self.slope_quantum = float(slope_quantum)
+        if kernel not in ("numpy", "python"):
+            raise TimingError(
+                f"unknown kernel {kernel!r} (expected 'numpy' or 'python')")
+        if kernel == "numpy" and not kernel_available():
+            kernel = "python"
+        self.kernel = kernel
         #: cumulative counters over every ``analyze()`` of this instance
         self.perf = PerfCounters()
         self._run_perf: Optional[PerfCounters] = None
@@ -281,6 +333,26 @@ class TimingAnalyzer:
         self._paths: Dict[Tuple[int, str, Transition],
                           List[SensitizedPath]] = {}
         self._trees: Dict[Tuple[int, str, Transition, int], RCTree] = {}
+        # Compiled tree templates, same key as the dict-tree cache; which
+        # one a kernel fills is an either/or (``self.kernel``).
+        self._templates: Dict[Tuple[int, str, Transition, int],
+                              TreeTemplate] = {}
+        # Per-stage derived-structure caches (adjacencies, pair index,
+        # reachability, merged edge resistances) shared by every path
+        # enumeration and tree/template build of the stage.
+        self._stage_caches: Dict[int, StageCaches] = {}
+        # Structural sharing (repro.core.timing.stage_iso): one
+        # representative stage per canonical signature does the real
+        # enumeration/compilation; isomorphic stages instantiate its
+        # results through a name substitution.  _stage_iso maps
+        # stage.index -> (representative stage, name_map, inverse map,
+        # element map); the maps are None on the representative itself.
+        self._stage_iso: Dict[int, Tuple[Stage, Optional[Dict[str, str]],
+                                         Optional[Dict[str, str]],
+                                         Optional[Dict]]] = {}
+        self._sig_reps: Dict[Tuple, Tuple[Stage, Tuple[str, ...]]] = {}
+        # Network-wide node capacitance memo shared across stages.
+        self._node_caps: Dict[str, float] = {}
         # Delay-model memo: (stage, node, transition, path order,
         # trigger kind, quantized slope) -> StageDelay.
         self._delay_cache: Dict[Tuple, StageDelay] = {}
@@ -300,6 +372,11 @@ class TimingAnalyzer:
         analyzer silently reuses delays computed for the old circuit."""
         self._paths.clear()
         self._trees.clear()
+        self._templates.clear()
+        self._stage_caches.clear()
+        self._stage_iso.clear()
+        self._sig_reps.clear()
+        self._node_caps.clear()
         self._delay_cache.clear()
         self._trigger_index.clear()
         self.stage_costs.clear()
@@ -463,16 +540,52 @@ class TimingAnalyzer:
 
     # -- static caches --------------------------------------------------
 
+    def _rep_for(self, stage: Stage) -> Tuple[Stage, Optional[Dict[str, str]],
+                                              Optional[Dict[str, str]],
+                                              Optional[Dict]]:
+        """The stage's structural-sharing record: its representative
+        stage plus the name/element substitutions (None when the stage
+        *is* the representative of its signature)."""
+        entry = self._stage_iso.get(stage.index)
+        if entry is None:
+            signature, names = stage_signature(
+                self.network, stage, self.states, cap_cache=self._node_caps)
+            rep = self._sig_reps.get(signature)
+            if rep is None:
+                self._sig_reps[signature] = (stage, names)
+                entry = (stage, None, None, None)
+            else:
+                rep_stage, rep_names = rep
+                name_map, inverse = build_maps(rep_names, names)
+                entry = (rep_stage, name_map, inverse,
+                         element_map(rep_stage, stage))
+            self._stage_iso[stage.index] = entry
+        return entry
+
     def _stage_paths(self, stage: Stage, node: str,
                      transition: Transition) -> List[SensitizedPath]:
         key = (stage.index, node, transition)
         paths = self._paths.get(key)
         if paths is None:
-            self._count("path_enumerations")
-            paths = enumerate_paths(
-                self.network, stage, node, transition, self.states)
+            rep, name_map, inverse, elements = self._rep_for(stage)
+            if name_map is None:
+                self._count("path_enumerations")
+                paths = enumerate_paths(
+                    self.network, stage, node, transition, self.states,
+                    caches=self._caches_for(stage))
+            else:
+                rep_paths = self._stage_paths(rep, inverse[node], transition)
+                paths = translate_paths(rep_paths, name_map, elements,
+                                        stage.index)
+                self._count("path_translations")
             self._paths[key] = paths
         return paths
+
+    def _caches_for(self, stage: Stage) -> StageCaches:
+        caches = self._stage_caches.get(stage.index)
+        if caches is None:
+            caches = self._stage_caches[stage.index] = StageCaches()
+        return caches
 
     def _tree_for(self, stage: Stage, path: SensitizedPath,
                   order: int) -> RCTree:
@@ -480,9 +593,52 @@ class TimingAnalyzer:
         tree = self._trees.get(key)
         if tree is None:
             self._count("tree_builds")
-            tree = build_tree(self.network, stage, path, states=self.states)
+            tree = build_tree(self.network, stage, path, states=self.states,
+                              caches=self._caches_for(stage),
+                              cap_cache=self._node_caps)
             self._trees[key] = tree
         return tree
+
+    def _template_for(self, stage: Stage, path: SensitizedPath,
+                      order: int) -> TreeTemplate:
+        key = (stage.index, path.target, path.transition, order)
+        template = self._templates.get(key)
+        if template is not None:
+            self._count("tree_template_hits")
+            return template
+        rep, name_map, inverse, elements = self._rep_for(stage)
+        if name_map is None:
+            self._count("tree_template_misses")
+            template = compile_template(
+                self.network, stage, path, states=self.states,
+                caches=self._caches_for(stage),
+                cap_cache=self._node_caps)
+        else:
+            rep_paths = self._stage_paths(rep, inverse[path.target],
+                                          path.transition)
+            template = TreeTemplate.translated(
+                self._template_for(rep, rep_paths[order], order),
+                name_map, elements)
+            self._count("tree_template_shared")
+        self._templates[key] = template
+        return template
+
+    def export_templates(self) -> Dict[Tuple[int, str, Transition, int],
+                                       TreeTemplate]:
+        """Snapshot of the compiled-template cache.  Template keys are
+        deterministic functions of the network and ``states`` (stage
+        indices from :meth:`StageGraph.build`, path order from
+        :func:`enumerate_paths`), so the snapshot is valid in any other
+        analyzer built from equal inputs — the parallel workers are
+        seeded this way instead of recompiling per process."""
+        return dict(self._templates)
+
+    def seed_templates(self, templates: Mapping[Tuple[int, str, Transition,
+                                                      int], TreeTemplate]
+                       ) -> None:
+        """Adopt pre-compiled templates (see :meth:`export_templates`).
+        Seeded entries count as template hits on first use, not misses."""
+        self._templates.update(templates)
 
     def _trigger_index_for(self, stage: Stage
                            ) -> Dict[Event, List[_IndexEntry]]:
@@ -511,29 +667,117 @@ class TimingAnalyzer:
         step = math.log1p(self.slope_quantum)
         return math.exp(round(math.log(slope) / step) * step)
 
-    def _stage_delay(self, stage: Stage, path: SensitizedPath, order: int,
-                     trigger: Trigger, input_slope: float) -> StageDelay:
-        slope = self._quantize_slope(max(input_slope, 0.0))
-        key = (stage.index, path.target, path.transition, order,
-               trigger.device_kind, slope)
-        cached = self._delay_cache.get(key)
-        if cached is not None:
-            self._count("model_cache_hits")
-            return cached
-        self._count("model_cache_misses")
-        tree = self._tree_for(stage, path, order)
-        request = StageRequest(
-            tree=tree,
+    def _request_for(self, stage: Stage, path: SensitizedPath, order: int,
+                     trigger: Trigger, slope: float) -> StageRequest:
+        """The delay-model question for one memo miss, carrying either a
+        compiled template (numpy kernel) or a dict tree (python kernel)."""
+        if self.kernel == "numpy":
+            return StageRequest(
+                tree=None,
+                target=path.target,
+                transition=path.transition,
+                trigger_kind=trigger.device_kind,
+                input_slope=slope,
+                tech=self.network.tech,
+                template=self._template_for(stage, path, order),
+            )
+        return StageRequest(
+            tree=self._tree_for(stage, path, order),
             target=path.target,
             transition=path.transition,
             trigger_kind=trigger.device_kind,
             input_slope=slope,
             tech=self.network.tech,
         )
-        self._count("model_evals")
-        result = self.model.evaluate(request)
-        self._delay_cache[key] = result
-        return result
+
+    def _best_candidate(self, stage: Stage,
+                        group: List[Tuple[int, int, SensitizedPath, Trigger]],
+                        arrivals: Mapping[Event, Arrival]
+                        ) -> Tuple[Optional[Arrival], Tuple[int, int], int]:
+        """Resolve a target's (order, trigger_pos, path, trigger)
+        candidate group and pick the winner under the deterministic
+        tie-break; also returns how many candidates had an upstream
+        arrival (the stage-cost observation).
+
+        The group's memo misses are gathered and handed to the model in
+        one :meth:`DelayModel.evaluate_many` batch — with the numpy kernel
+        they all share the stage's template-level time constants, so the
+        per-candidate marginal cost is a dict lookup.  Only the winning
+        candidate is materialized as an :class:`Arrival`; the losers never
+        leave (time, rank) form.
+        """
+        cache = self._delay_cache
+        stage_index = stage.index
+        quantum = self.slope_quantum
+        plan: List[Tuple[Event, Arrival, Tuple, int, int, SensitizedPath,
+                         Trigger]] = []
+        pending_keys: List[Tuple] = []
+        pending_requests: List[StageRequest] = []
+        pending_seen: Set[Tuple] = set()
+        hits = 0
+        for order, pos, path, trigger in group:
+            event = Event(trigger.input_node, trigger.input_transition)
+            upstream = arrivals.get(event)
+            if upstream is None:
+                continue
+            slope = upstream.slope
+            if slope < 0.0:
+                slope = 0.0
+            if quantum > 0.0:
+                slope = self._quantize_slope(slope)
+            key = (stage_index, path.target, path.transition_code, order,
+                   trigger.kind_code, slope)
+            if key in cache or key in pending_seen:
+                hits += 1
+            else:
+                pending_seen.add(key)
+                pending_keys.append(key)
+                pending_requests.append(
+                    self._request_for(stage, path, order, trigger, slope))
+            plan.append((event, upstream, key, order, pos, path, trigger))
+        if plan:
+            self._count("candidates", len(plan))
+        if hits:
+            self._count("model_cache_hits", hits)
+        if pending_requests:
+            self._count("model_cache_misses", len(pending_requests))
+            self._count("model_evals", len(pending_requests))
+            if self.kernel == "numpy":
+                self._count("kernel_batches")
+                self._count("kernel_nodes",
+                            sum(len(r.template) for r in pending_requests))
+            for key, result in zip(pending_keys,
+                                   self.model.evaluate_many(pending_requests)):
+                cache[key] = result
+
+        # Winner selection on raw (time, rank), same ordering as _beats.
+        best = None  # (event, upstream, result, path, trigger)
+        best_time = 0.0
+        best_rank = _PRIMARY_RANK
+        for event, upstream, key, order, pos, path, trigger in plan:
+            result = cache[key]
+            time = upstream.time + result.delay
+            if best is not None:
+                scale = max(abs(time), abs(best_time), 1e-30)
+                margin = _RELATIVE_EPSILON * scale
+                if time <= best_time + margin and (
+                        time < best_time - margin
+                        or (order, pos) >= best_rank):
+                    continue
+            best = (event, upstream, result, path, trigger)
+            best_time = time
+            best_rank = (order, pos)
+        if best is None:
+            return None, _PRIMARY_RANK, len(plan)
+        event, upstream, result, path, trigger = best
+        return Arrival(
+            time=best_time,
+            slope=result.output_slope,
+            cause=event,
+            stage_delay=result,
+            path=path,
+            trigger=trigger,
+        ), best_rank, len(plan)
 
     # -- event admission ------------------------------------------------
 
@@ -575,28 +819,6 @@ class TimingAnalyzer:
             return False
         return candidate_rank < current_rank
 
-    def _candidate(self, stage: Stage, path: SensitizedPath, order: int,
-                   trigger_pos: int, trigger: Trigger,
-                   arrivals: Dict[Event, Arrival]
-                   ) -> Optional[Tuple[Arrival, Tuple[int, int]]]:
-        """The arrival this (path, trigger) pair currently implies."""
-        event = Event(trigger.input_node, trigger.input_transition)
-        upstream = arrivals.get(event)
-        if upstream is None:
-            return None
-        self._count("candidates")
-        result = self._stage_delay(stage, path, order, trigger,
-                                   upstream.slope)
-        arrival = Arrival(
-            time=upstream.time + result.delay,
-            slope=result.output_slope,
-            cause=event,
-            stage_delay=result,
-            path=path,
-            trigger=trigger,
-        )
-        return arrival, (order, trigger_pos)
-
     # -- stage evaluation -----------------------------------------------
 
     def _commit(self, event: Event, best: Arrival, rank: Tuple[int, int],
@@ -611,29 +833,33 @@ class TimingAnalyzer:
         self._count("arrival_updates")
         return True
 
+    @staticmethod
+    def _full_group(paths: List[SensitizedPath]
+                    ) -> List[Tuple[int, int, SensitizedPath, Trigger]]:
+        """Every (path, trigger) candidate of a target, canonical order."""
+        return [(order, pos, path, trigger)
+                for order, path in enumerate(paths)
+                for pos, trigger in enumerate(path.triggers)]
+
     def _evaluate_full(self, stage: Stage, arrivals: Dict[Event, Arrival],
                        ranks: Dict[Event, Tuple[int, int]]) -> List[Event]:
-        """Recompute every internal-node arrival; return changed events."""
+        """Recompute every internal-node arrival; return changed events.
+
+        Targets are evaluated (and committed) one at a time, in canonical
+        order, because a feedback stage's own internal node can be an
+        upstream trigger of a later target in the same visit — batching
+        stays within one target's candidate group.
+        """
         changed: List[Event] = []
         considered = 0
         for node in sorted(stage.internal_nodes):
             for transition in _TRANSITIONS:
                 if not self._event_allowed(node, transition):
                     continue
-                best: Optional[Arrival] = None
-                best_rank = _PRIMARY_RANK
                 paths = self._stage_paths(stage, node, transition)
-                for order, path in enumerate(paths):
-                    for pos, trigger in enumerate(path.triggers):
-                        made = self._candidate(stage, path, order, pos,
-                                               trigger, arrivals)
-                        if made is None:
-                            continue
-                        considered += 1
-                        arrival, rank = made
-                        if best is None or self._beats(arrival, rank,
-                                                       best, best_rank):
-                            best, best_rank = arrival, rank
+                best, best_rank, count = self._best_candidate(
+                    stage, self._full_group(paths), arrivals)
+                considered += count
                 if best is None:
                     continue
                 event = Event(node, transition)
@@ -662,20 +888,10 @@ class TimingAnalyzer:
             for transition in _TRANSITIONS:
                 if not self._event_allowed(node, transition):
                     continue
-                best: Optional[Arrival] = None
-                best_rank = _PRIMARY_RANK
                 paths = self._stage_paths(stage, node, transition)
-                for order, path in enumerate(paths):
-                    for pos, trigger in enumerate(path.triggers):
-                        made = self._candidate(stage, path, order, pos,
-                                               trigger, arrivals)
-                        if made is None:
-                            continue
-                        considered += 1
-                        arrival, rank = made
-                        if best is None or self._beats(arrival, rank,
-                                                       best, best_rank):
-                            best, best_rank = arrival, rank
+                best, best_rank, count = self._best_candidate(
+                    stage, self._full_group(paths), arrivals)
+                considered += count
                 if best is not None:
                     out.append((Event(node, transition), best, best_rank))
         self.stage_costs.observe(stage.index, considered)
@@ -700,19 +916,11 @@ class TimingAnalyzer:
                 e.node, _TRANSITION_ORDER[e.transition])):
             entries = sorted(by_target[target],
                              key=lambda e: (e.order, e.trigger_pos))
-            best: Optional[Arrival] = None
-            best_rank = _PRIMARY_RANK
-            for entry in entries:
-                made = self._candidate(stage, entry.path, entry.order,
-                                       entry.trigger_pos, entry.trigger,
-                                       arrivals)
-                if made is None:
-                    continue
-                considered += 1
-                arrival, rank = made
-                if best is None or self._beats(arrival, rank, best,
-                                               best_rank):
-                    best, best_rank = arrival, rank
+            group = [(entry.order, entry.trigger_pos, entry.path,
+                      entry.trigger) for entry in entries]
+            best, best_rank, count = self._best_candidate(stage, group,
+                                                          arrivals)
+            considered += count
             if best is None:
                 continue
             if self._commit(target, best, best_rank, arrivals, ranks):

@@ -33,7 +33,7 @@ from ...errors import TimingError
 from ...netlist import GND, VDD, Network
 from ...netlist.stages import Stage
 from ...netlist.transistor import Resistor, Transistor
-from ...rctree import RCTree
+from ...rctree import RCTree, TreeTemplate
 from ...switchlevel import Logic
 from ...tech import DeviceKind, Technology, Transition
 from ..models.base import StageRequest
@@ -43,6 +43,16 @@ MAX_PATHS_PER_NODE = 512
 
 Element = Union[Transistor, Resistor]
 StateMap = Mapping[str, Logic]
+
+#: Small-integer codes for the enums that land in hot memo keys.  Python
+#: enums hash through a Python-level ``__hash__``, so key tuples carrying
+#: them pay an interpreter call per dict operation; the analyzer's
+#: delay-memo keys use these C-hashable ints instead (precomputed once at
+#: construction, see :class:`Trigger` / :class:`SensitizedPath`).
+_TRANSITION_CODES: Dict[Transition, int] = {
+    t: i for i, t in enumerate(Transition)
+}
+_KIND_CODES: Dict[DeviceKind, int] = {k: i for i, k in enumerate(DeviceKind)}
 
 
 @dataclass(frozen=True)
@@ -67,6 +77,10 @@ class Trigger:
     mechanism: str  # "on" | "off" | "through"
     device_kind: DeviceKind  # selects the slope table
 
+    def __post_init__(self) -> None:
+        # Precomputed C-hashable stand-in for ``device_kind`` in memo keys.
+        object.__setattr__(self, "kind_code", _KIND_CODES[self.device_kind])
+
 
 @dataclass(frozen=True)
 class SensitizedPath:
@@ -78,6 +92,11 @@ class SensitizedPath:
     transition: Transition
     elements: Tuple[PathElement, ...]
     triggers: Tuple[Trigger, ...]
+
+    def __post_init__(self) -> None:
+        # Precomputed C-hashable stand-in for ``transition`` in memo keys.
+        object.__setattr__(self, "transition_code",
+                           _TRANSITION_CODES[self.transition])
 
     @property
     def nodes(self) -> Tuple[str, ...]:
@@ -152,16 +171,83 @@ def source_qualifies(network: Network, node: str,
     return network.node(node).is_driven_externally
 
 
+class StageCaches:
+    """Memoized per-(stage, states) derived structures.
+
+    Everything here is a pure function of the stage's device list and the
+    sensitization states, so one instance can be shared by every path
+    enumeration and tree/template build of the stage — the analyzer keeps
+    one per stage for its lifetime.  One-shot callers simply omit it and
+    each call builds what it needs privately.
+    """
+
+    __slots__ = ("_pair_index", "_conducting", "_branch", "reach",
+                 "edge_resistance", "driven", "bridges", "edge_groups")
+
+    def __init__(self) -> None:
+        self._pair_index = None
+        self._conducting = None
+        self._branch = None
+        #: (excluded device name, start node) -> reachable node set
+        self.reach: Dict[Tuple[str, str], Set[str]] = {}
+        #: (element name, transition) -> parallel-merged resistance
+        self.edge_resistance: Dict[Tuple[str, Transition], float] = {}
+        #: node name -> is it driven externally (rails excluded)
+        self.driven: Dict[str, bool] = {}
+        #: (device name, target, transition) -> does turning the device
+        #: off release the target (see ``_bridges_opposition``)
+        self.bridges: Dict[Tuple[str, str, Transition], bool] = {}
+        #: element name -> its parallel-merge element group (the merge
+        #: set is fixed per stage, each element spans one node pair)
+        self.edge_groups: Dict[str, Tuple[Element, ...]] = {}
+
+    def pair_index(self, stage: Stage, states: Optional[StateMap]
+                   ) -> Dict[FrozenSet[str], List[Element]]:
+        if self._pair_index is None:
+            self._pair_index = _static_pair_index(stage, states)
+        return self._pair_index
+
+    def conducting_adjacency(self, stage: Stage, states: Optional[StateMap]
+                             ) -> Dict[str, List[Tuple[Element, str]]]:
+        if self._conducting is None:
+            self._conducting = _conducting_adjacency(stage, states)
+        return self._conducting
+
+    def branch_adjacency(self, stage: Stage, states: Optional[StateMap]
+                         ) -> Dict[str, List[Tuple[Element, str]]]:
+        if self._branch is None:
+            self._branch = _branch_adjacency(stage, states)
+        return self._branch
+
+
 def enumerate_paths(network: Network, stage: Stage, target: str,
                     transition: Transition,
-                    states: Optional[StateMap] = None) -> List[SensitizedPath]:
+                    states: Optional[StateMap] = None,
+                    caches: Optional[StageCaches] = None
+                    ) -> List[SensitizedPath]:
     """All sensitizable (path, triggers) records for one output transition."""
     if target not in stage.internal_nodes:
         raise TimingError(
             f"node {target!r} is not internal to stage {stage.index}"
         )
 
-    adjacency = _conducting_adjacency(stage, states)
+    if caches is None:
+        caches = StageCaches()
+    adjacency = caches.conducting_adjacency(stage, states)
+    driven_cache = caches.driven
+
+    def qualifies(node: str) -> bool:
+        # source_qualifies with the externally-driven lookup memoized
+        # (it is transition-independent for non-rail nodes).
+        if node == VDD:
+            return transition is Transition.RISE
+        if node == GND:
+            return transition is not Transition.RISE
+        hit = driven_cache.get(node)
+        if hit is None:
+            hit = driven_cache[node] = \
+                network.node(node).is_driven_externally
+        return hit
 
     raw_paths: List[Tuple[str, Tuple[PathElement, ...]]] = []
 
@@ -174,7 +260,7 @@ def enumerate_paths(network: Network, stage: Stage, target: str,
                 continue
             hop = PathElement(element=element, from_node=neighbor,
                               to_node=node)
-            if source_qualifies(network, neighbor, transition):
+            if qualifies(neighbor):
                 # Reached a source: trail runs target->source, so reverse
                 # it to list hops from the source toward the target.
                 path = tuple(reversed(trail + [hop]))
@@ -186,15 +272,11 @@ def enumerate_paths(network: Network, stage: Stage, target: str,
 
     dfs(target, {target}, [])
 
-    # Reachability answers are identical across the paths of one call, so
-    # share one memo (keyed on excluded device + start node) between them.
-    reach_cache: Dict[Tuple[str, str], Set[str]] = {}
-
     results: List[SensitizedPath] = []
     for source, elements in raw_paths:
         # Reorder hops from source to target (dfs built them backwards).
         triggers = _triggers_for(network, stage, source, elements,
-                                 transition, states, adjacency, reach_cache)
+                                 transition, states, adjacency, caches)
         if not triggers:
             continue
         results.append(SensitizedPath(
@@ -231,8 +313,7 @@ def _triggers_for(network: Network, stage: Stage, source: str,
                   elements: Sequence[PathElement], transition: Transition,
                   states: Optional[StateMap],
                   adjacency: Dict[str, List[Tuple[Element, str]]],
-                  reach_cache: Dict[Tuple[str, str], Set[str]]
-                  ) -> List[Trigger]:
+                  caches: StageCaches) -> List[Trigger]:
     triggers: Dict[Tuple[str, Transition], Trigger] = {}
 
     path_devices = [e.element for e in elements if e.is_transistor]
@@ -257,30 +338,28 @@ def _triggers_for(network: Network, stage: Stage, source: str,
             device_kind=device.kind,
         ))
 
-    # through-trigger: the source itself switching, propagated through an
-    # already-on chain.
-    if source not in (VDD, GND):
-        path_on = all(
-            (not hop.is_transistor) or _statically_on(hop.element, states)
-            for hop in elements
-        )
-        if path_on:
-            event = (source, transition)
-            triggers.setdefault(event, Trigger(
-                input_node=source,
-                input_transition=transition,
-                mechanism="through",
-                device_kind=first_kind,
-            ))
-
-    # off-triggers: an opposing device releasing the node.  Only relevant
-    # when the path itself conducts without further events.
     path_statically_on = all(
         (not hop.is_transistor) or _statically_on(hop.element, states)
         for hop in elements
     )
+
+    # through-trigger: the source itself switching, propagated through an
+    # already-on chain.
+    if source not in (VDD, GND) and path_statically_on:
+        event = (source, transition)
+        triggers.setdefault(event, Trigger(
+            input_node=source,
+            input_transition=transition,
+            mechanism="through",
+            device_kind=first_kind,
+        ))
+
+    # off-triggers: an opposing device releasing the node.  Only relevant
+    # when the path itself conducts without further events.
     if path_statically_on:
         path_element_names = {e.element.name for e in elements}
+        bridges_cache = caches.bridges
+        target = elements[-1].to_node if elements else source
         for device in stage.transistors:
             if device.name in path_element_names:
                 continue
@@ -301,10 +380,16 @@ def _triggers_for(network: Network, stage: Stage, source: str,
             # the *opposite* level: one channel terminal must reach the
             # target and the other an opposing source, both without going
             # through the device itself.  (A pass device into a dead-end
-            # storage node fails this and is correctly ignored.)
-            target = elements[-1].to_node if elements else source
-            if not _bridges_opposition(network, stage, device, target,
-                                       transition, adjacency, reach_cache):
+            # storage node fails this and is correctly ignored.)  The
+            # answer depends only on (device, target, transition), so it
+            # is shared by every path of the stage ending at the target.
+            bridge_key = (device.name, target, transition)
+            bridges = bridges_cache.get(bridge_key)
+            if bridges is None:
+                bridges = bridges_cache[bridge_key] = _bridges_opposition(
+                    network, stage, device, target, transition, adjacency,
+                    caches)
+            if not bridges:
                 continue
             event = (gate, _turn_off_transition(device.kind))
             triggers.setdefault(event, Trigger(
@@ -344,13 +429,16 @@ def _reachable_without(stage: Stage, start: str, excluded: Transistor,
 def _bridges_opposition(network: Network, stage: Stage, device: Transistor,
                         target: str, transition: Transition,
                         adjacency: Dict[str, List[Tuple[Element, str]]],
-                        reach_cache: Dict[Tuple[str, str], Set[str]]) -> bool:
+                        caches: StageCaches) -> bool:
     """Does turning *device* off release *target* from the opposite level?
 
     True when one channel terminal reaches the target and the other
     reaches a source of the opposite polarity — each without crossing the
     device itself."""
     opposite = transition.opposite
+    want_vdd = opposite is Transition.RISE
+    reach_cache = caches.reach
+    driven_cache = caches.driven
     for near, far in (device.channel, device.channel[::-1]):
         near_reach = _reachable_without(stage, near, device, adjacency,
                                         reach_cache)
@@ -358,9 +446,21 @@ def _bridges_opposition(network: Network, stage: Stage, device: Transistor,
             continue
         far_reach = _reachable_without(stage, far, device, adjacency,
                                        reach_cache)
-        if any(source_qualifies(network, node, opposite)
-               for node in far_reach):
-            return True
+        for node in far_reach:
+            if node == VDD:
+                if want_vdd:
+                    return True
+                continue
+            if node == GND:
+                if not want_vdd:
+                    return True
+                continue
+            hit = driven_cache.get(node)
+            if hit is None:
+                hit = driven_cache[node] = \
+                    network.node(node).is_driven_externally
+            if hit:
+                return True
     return False
 
 
@@ -402,58 +502,139 @@ def _static_pair_index(stage: Stage, states: Optional[StateMap]
 
 def _merged_edge_resistance(network: Network, element: Element,
                             a: str, b: str, transition: Transition,
-                            pair_index: Dict[FrozenSet[str], List[Element]]
-                            ) -> float:
+                            pair_index: Dict[FrozenSet[str], List[Element]],
+                            cache: Optional[Dict[Tuple[str, Transition],
+                                                 float]] = None) -> float:
     """Resistance of the hop *element* between nodes a and b, merged in
     parallel with every *other* element across the same node pair that
     conducts in the analyzed state (a CMOS transmission gate is two such
-    devices; Crystal merges them the same way)."""
-    tech = network.tech
+    devices; Crystal merges them the same way).  *cache* memoizes by
+    (element name, transition) — each element spans one node pair, so the
+    merge set (and therefore the value) is fixed per stage."""
     name = getattr(element, "name", None)
+    if cache is not None:
+        key = (name, transition)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    tech = network.tech
     conductance = 1.0 / _element_resistance(tech, element, transition)
     for other in pair_index.get(frozenset((a, b)), ()):
         if other.name == name:
             continue
         conductance += 1.0 / _element_resistance(tech, other, transition)
-    return 1.0 / conductance
+    resistance = 1.0 / conductance
+    if cache is not None:
+        cache[key] = resistance
+    return resistance
 
 
-def build_tree(network: Network, stage: Stage, path: SensitizedPath,
-               states: Optional[StateMap] = None,
-               include_branches: bool = True) -> RCTree:
-    """The RC tree for a path: root at the source, the path as the trunk,
-    and conducting side branches (their capacitance loads the path)."""
-    pair_index = _static_pair_index(stage, states)
-    tree = RCTree(path.source)
-    for hop in path.elements:
-        resistance = _merged_edge_resistance(
-            network, hop.element, hop.from_node, hop.to_node,
-            path.transition, pair_index)
-        tree.add_edge(hop.from_node, hop.to_node, resistance)
-        if hop.to_node in stage.internal_nodes:
-            tree.add_cap(hop.to_node, effective_node_cap(network, hop.to_node))
+@dataclass
+class TreeStructure:
+    """The flattened output of one tree traversal, consumed by both the
+    dict-tree builder and the template compiler.
 
-    if not include_branches:
-        return tree
+    Arrays are node-parallel, root first in insertion order (parents
+    precede children).  ``elements[i]`` is the parallel-merged element
+    group producing ``r[i]`` — the template's re-stamping source.
+    """
 
-    # Side branches: breadth-first from every path node through devices
-    # that conduct (statically), stopping at driven nodes and at nodes
-    # already in the tree (re-convergent structures are approximated by
-    # first-found attachment).
-    static_adjacency: Dict[str, List[Tuple[Element, str]]] = {}
+    names: List[str]
+    parent: List[int]
+    r: List[float]
+    c: List[float]
+    cap_mask: List[bool]
+    elements: List[Tuple[Element, ...]]
+
+
+def _edge_group(element: Element, a: str, b: str,
+                pair_index: Dict[FrozenSet[str], List[Element]]
+                ) -> Tuple[Element, ...]:
+    """The element plus every other conductor across the same node pair,
+    in :func:`_merged_edge_resistance`'s merge order."""
+    name = getattr(element, "name", None)
+    others = tuple(other for other in pair_index.get(frozenset((a, b)), ())
+                   if other.name != name)
+    return (element,) + others
+
+
+def _branch_adjacency(stage: Stage, states: Optional[StateMap]
+                      ) -> Dict[str, List[Tuple[Element, str]]]:
+    """Node -> [(element, neighbor)] over *statically* conducting elements
+    — what the side-branch BFS of a tree build walks."""
+    adjacency: Dict[str, List[Tuple[Element, str]]] = {}
 
     def connect(element: Element, a: str, b: str) -> None:
-        static_adjacency.setdefault(a, []).append((element, b))
-        static_adjacency.setdefault(b, []).append((element, a))
+        adjacency.setdefault(a, []).append((element, b))
+        adjacency.setdefault(b, []).append((element, a))
 
     for device in stage.transistors:
         if _statically_on(device, states):
             connect(device, device.source, device.drain)
     for res in stage.resistors:
         connect(res, res.node_a, res.node_b)
+    return adjacency
+
+
+def tree_structure(network: Network, stage: Stage, path: SensitizedPath,
+                   states: Optional[StateMap] = None,
+                   include_branches: bool = True,
+                   caches: Optional[StageCaches] = None,
+                   cap_cache: Optional[Dict[str, float]] = None
+                   ) -> TreeStructure:
+    """One traversal of the path's RC tree: trunk plus conducting side
+    branches, flattened to parallel arrays.  *caches* (a
+    :class:`StageCaches`) amortizes the per-stage element scans across
+    the stage's trees; *cap_cache* memoizes node capacitance lookups
+    network-wide."""
+    if caches is None:
+        caches = StageCaches()
+    pair_index = caches.pair_index(stage, states)
+    resistance_cache = caches.edge_resistance
+    structure = TreeStructure(names=[path.source], parent=[-1], r=[0.0],
+                              c=[0.0], cap_mask=[False], elements=[()])
+    index = {path.source: 0}
+
+    def node_cap(node: str) -> float:
+        if cap_cache is None:
+            return effective_node_cap(network, node)
+        cap = cap_cache.get(node)
+        if cap is None:
+            cap = cap_cache[node] = effective_node_cap(network, node)
+        return cap
+
+    group_cache = caches.edge_groups
+
+    def add(parent_name: str, node: str, element: Element) -> None:
+        structure.names.append(node)
+        structure.parent.append(index[parent_name])
+        index[node] = len(structure.names) - 1
+        structure.r.append(_merged_edge_resistance(
+            network, element, parent_name, node, path.transition,
+            pair_index, resistance_cache))
+        group = group_cache.get(element.name)
+        if group is None:
+            group = group_cache[element.name] = _edge_group(
+                element, parent_name, node, pair_index)
+        structure.elements.append(group)
+        internal = node in stage.internal_nodes
+        structure.cap_mask.append(internal)
+        structure.c.append(node_cap(node) if internal else 0.0)
+
+    for hop in path.elements:
+        add(hop.from_node, hop.to_node, hop.element)
+
+    if not include_branches:
+        return structure
+
+    # Side branches: breadth-first from every path node through devices
+    # that conduct (statically), stopping at driven nodes and at nodes
+    # already in the tree (re-convergent structures are approximated by
+    # first-found attachment).
+    static_adjacency = caches.branch_adjacency(stage, states)
 
     frontier = [n for n in path.nodes if n in stage.internal_nodes]
-    seen = set(tree.nodes)
+    seen = set(structure.names)
     while frontier:
         node = frontier.pop()
         for element, neighbor in static_adjacency.get(node, ()):
@@ -461,14 +642,65 @@ def build_tree(network: Network, stage: Stage, path: SensitizedPath,
                 continue
             if neighbor not in stage.internal_nodes:
                 continue  # a rail or driven node terminates the branch
-            resistance = _merged_edge_resistance(
-                network, element, node, neighbor, path.transition,
-                pair_index)
-            tree.add_edge(node, neighbor, resistance)
-            tree.add_cap(neighbor, effective_node_cap(network, neighbor))
+            add(node, neighbor, element)
             seen.add(neighbor)
             frontier.append(neighbor)
+    return structure
+
+
+def build_tree(network: Network, stage: Stage, path: SensitizedPath,
+               states: Optional[StateMap] = None,
+               include_branches: bool = True,
+               caches: Optional[StageCaches] = None,
+               cap_cache: Optional[Dict[str, float]] = None) -> RCTree:
+    """The RC tree for a path: root at the source, the path as the trunk,
+    and conducting side branches (their capacitance loads the path)."""
+    structure = tree_structure(network, stage, path, states=states,
+                               include_branches=include_branches,
+                               caches=caches, cap_cache=cap_cache)
+    tree = RCTree(structure.names[0])
+    for i in range(1, len(structure.names)):
+        tree.add_edge(structure.names[structure.parent[i]],
+                      structure.names[i], structure.r[i])
+        if structure.cap_mask[i]:
+            tree.add_cap(structure.names[i], structure.c[i])
     return tree
+
+
+def compile_template(network: Network, stage: Stage, path: SensitizedPath,
+                     states: Optional[StateMap] = None,
+                     include_branches: bool = True,
+                     caches: Optional[StageCaches] = None,
+                     cap_cache: Optional[Dict[str, float]] = None
+                     ) -> TreeTemplate:
+    """Compile the path's RC tree straight into a reusable
+    :class:`~repro.rctree.TreeTemplate` — same traversal as
+    :func:`build_tree`, no intermediate dict tree.  The template keeps
+    its element groups, so :func:`restamp_template` can refresh values
+    after geometry/technology edits without recompiling."""
+    structure = tree_structure(network, stage, path, states=states,
+                               include_branches=include_branches,
+                               caches=caches, cap_cache=cap_cache)
+    return TreeTemplate(structure.names, structure.parent, structure.r,
+                        structure.c, transition=path.transition,
+                        edge_elements=tuple(structure.elements),
+                        cap_mask=structure.cap_mask)
+
+
+def restamp_template(network: Network, template: TreeTemplate) -> None:
+    """Refresh a compiled template's R/C values from the network's
+    current geometry and technology tables (preallocated arrays are
+    reused; structure is untouched)."""
+    tech = network.tech
+    transition = template.transition
+
+    def resistance_of(element: Element) -> float:
+        return _element_resistance(tech, element, transition)
+
+    def cap_of(node: str) -> float:
+        return effective_node_cap(network, node)
+
+    template.restamp(resistance_of, cap_of)
 
 
 def build_request(network: Network, stage: Stage, path: SensitizedPath,

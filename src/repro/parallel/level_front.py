@@ -75,6 +75,7 @@ def parallel_analyze(network: Network, inputs: InputMap, *,
                      states: Optional[StateMap] = None,
                      initial_states: Optional[StateMap] = None,
                      slope_quantum: float = 0.0,
+                     kernel: str = "numpy",
                      analyzer: Optional[TimingAnalyzer] = None,
                      config: Optional[ParallelConfig] = None,
                      executor: Optional[ParallelExecutor] = None
@@ -90,7 +91,8 @@ def parallel_analyze(network: Network, inputs: InputMap, *,
     if analyzer is None:
         analyzer = TimingAnalyzer(network, model=model, states=states,
                                   initial_states=initial_states,
-                                  slope_quantum=slope_quantum)
+                                  slope_quantum=slope_quantum,
+                                  kernel=kernel)
     if config is None:
         config = ParallelConfig(jobs=jobs)
     else:
@@ -214,6 +216,7 @@ def _propagate_fronts(analyzer: TimingAnalyzer, inputs: InputMap,
             _cid, _pid, _secs, stage_results, costs, counters = result
             merged.extend(stage_results)
             analyzer.stage_costs.merge_raw(costs)
+            pperf.record_template_stats(counters)
             for name, value in counters.items():
                 perf.incr(name, value)
         merged.sort(key=lambda item: item[0])

@@ -91,7 +91,10 @@ def run_vectors_sharded(spec: AnalyzerSpec, items: Sequence[VectorItem],
         dispatch = pperf.dispatch("sweep (serial)")
         pperf.record_chunk(dispatch, PARENT_SLOT, len(items),
                            float(len(items)), result[2])
-        return sorted(result[3], key=lambda r: r[0]), pperf
+        serial_outcomes = sorted(result[3], key=lambda r: r[0])
+        for _position, _arrivals, counters, _timers in serial_outcomes:
+            pperf.record_template_stats(counters)
+        return serial_outcomes, pperf
 
     weights = [1.0] * len(items)
     spans = contiguous_chunks(weights, config.jobs)
@@ -120,4 +123,6 @@ def run_vectors_sharded(spec: AnalyzerSpec, items: Sequence[VectorItem],
     for result in results:
         outcomes.extend(result[3])
     outcomes.sort(key=lambda r: r[0])
+    for _position, _arrivals, counters, _timers in outcomes:
+        pperf.record_template_stats(counters)
     return outcomes, pperf

@@ -65,6 +65,10 @@ class AnalyzerSpec:
     initial_states: Optional[StateMap] = None
     incremental: bool = True
     slope_quantum: float = 0.0
+    kernel: str = "numpy"
+    #: the parent's compiled tree templates (template keys are
+    #: deterministic across processes, so workers skip recompilation)
+    templates: Optional[Dict] = None
 
     @classmethod
     def from_analyzer(cls, analyzer: TimingAnalyzer) -> "AnalyzerSpec":
@@ -72,14 +76,20 @@ class AnalyzerSpec:
                    states=analyzer.states,
                    initial_states=analyzer.initial_states,
                    incremental=analyzer.incremental,
-                   slope_quantum=analyzer.slope_quantum)
+                   slope_quantum=analyzer.slope_quantum,
+                   kernel=analyzer.kernel,
+                   templates=analyzer.export_templates() or None)
 
     def build(self) -> TimingAnalyzer:
-        return TimingAnalyzer(self.network, model=self.model,
-                              states=self.states,
-                              initial_states=self.initial_states,
-                              incremental=self.incremental,
-                              slope_quantum=self.slope_quantum)
+        analyzer = TimingAnalyzer(self.network, model=self.model,
+                                  states=self.states,
+                                  initial_states=self.initial_states,
+                                  incremental=self.incremental,
+                                  slope_quantum=self.slope_quantum,
+                                  kernel=self.kernel)
+        if self.templates:
+            analyzer.seed_templates(self.templates)
+        return analyzer
 
     def to_payload(self) -> bytes:
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)

@@ -36,7 +36,13 @@ STANDARD_COUNTERS: Dict[str, str] = {
     "model_cache_misses": "memo misses (same as model_evals when cold)",
     "arrival_updates": "arrival improvements committed",
     "path_enumerations": "per-(stage, node, transition) path enumerations",
+    "path_translations": "path sets instantiated from an isomorphic stage",
     "tree_builds": "RC trees constructed",
+    "tree_template_misses": "tree templates compiled (first visit of a path)",
+    "tree_template_hits": "compiled-template reuses by later candidates",
+    "tree_template_shared": "templates instantiated from an isomorphic stage",
+    "kernel_batches": "vectorized-kernel evaluate_many() batches",
+    "kernel_nodes": "tree nodes covered by vectorized-kernel batches",
 }
 
 
@@ -184,6 +190,16 @@ class BatchPerf:
             return None
         return self.total.get("model_evals") / len(self.scenarios)
 
+    @property
+    def template_hit_rate(self) -> Optional[float]:
+        """Compiled-template reuse fraction across the whole batch, or
+        None when the sweep never touched the vectorized kernel."""
+        total = self.total
+        hits = total.get("tree_template_hits")
+        misses = total.get("tree_template_misses")
+        seen = hits + misses
+        return (hits / seen) if seen else None
+
     def format_table(self, title: str = "batch perf") -> str:
         """One row per scenario plus a totals row with the batch-wide
         cache hit rate."""
@@ -207,4 +223,10 @@ class BatchPerf:
         per_scenario = self.evals_per_scenario()
         if per_scenario is not None:
             lines.append(f"model evals per scenario: {per_scenario:.1f}")
+        template_rate = self.template_hit_rate
+        if template_rate is not None:
+            lines.append(
+                f"tree templates: {total.get('tree_template_hits')} hits / "
+                f"{total.get('tree_template_misses')} compiles "
+                f"({template_rate:.1%} reuse)")
         return "\n".join(lines)

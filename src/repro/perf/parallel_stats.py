@@ -72,6 +72,9 @@ class ParallelPerf:
     serial_chunks: int = 0          #: chunks the parent ran after fallback
     #: worker slot -> accumulated busy seconds (slot -1 = parent fallback)
     worker_seconds: Dict[int, float] = field(default_factory=dict)
+    #: compiled-tree-template cache traffic summed over every worker
+    template_hits: int = 0
+    template_misses: int = 0
 
     # -- recording ----------------------------------------------------------
 
@@ -91,6 +94,13 @@ class ParallelPerf:
 
     def record_fallback(self, event: str) -> None:
         self.fallback_events.append(event)
+
+    def record_template_stats(self, counters: Dict[str, int]) -> None:
+        """Pick the tree-template cache traffic out of a worker's (or the
+        parent's) counter dict — shows how well the shipped compiled
+        templates were reused across the pool."""
+        self.template_hits += int(counters.get("tree_template_hits", 0))
+        self.template_misses += int(counters.get("tree_template_misses", 0))
 
     # -- derived ------------------------------------------------------------
 
@@ -135,6 +145,8 @@ class ParallelPerf:
         self.fallback_events.extend(other.fallback_events)
         self.retries += other.retries
         self.serial_chunks += other.serial_chunks
+        self.template_hits += other.template_hits
+        self.template_misses += other.template_misses
         for worker, seconds in other.worker_seconds.items():
             self.worker_seconds[worker] = (
                 self.worker_seconds.get(worker, 0.0) + seconds)
@@ -162,6 +174,8 @@ class ParallelPerf:
             "fallback_events": list(self.fallback_events),
             "retries": self.retries,
             "serial_chunks": self.serial_chunks,
+            "template_hits": self.template_hits,
+            "template_misses": self.template_misses,
             "worker_seconds": {str(k): v
                                for k, v in self.worker_seconds.items()},
         }
@@ -179,6 +193,12 @@ class ParallelPerf:
         if ratio is not None:
             lines.append(f"  load-imbalance ratio {ratio:.2f} "
                          "(slowest chunk / mean, 1.00 = perfect)")
+        seen = self.template_hits + self.template_misses
+        if seen:
+            lines.append(
+                f"  tree templates {self.template_hits} hits / "
+                f"{self.template_misses} compiles "
+                f"({self.template_hits / seen:.1%} reuse across workers)")
         if self.retries:
             lines.append(f"  retries {self.retries}")
         if self.serial_chunks:

@@ -27,8 +27,13 @@ class TimeConstants:
     t_r: float
 
     def __post_init__(self) -> None:
-        # Allow tiny numerical slack in the defining inequalities.
-        slack = 1e-12 + 1e-9 * self.t_p
+        # Allow tiny numerical slack in the defining inequalities.  The
+        # slack scales with T_D as well as T_P: the binding comparison
+        # T_R <= T_D happens at T_D's magnitude, and the vectorized
+        # kernel's reassociated sums can land a large-fanout tree within
+        # rounding of that boundary even when T_P alone would suggest a
+        # tighter tolerance.
+        slack = 1e-12 + 1e-9 * (abs(self.t_p) + abs(self.t_d))
         if not (self.t_r <= self.t_d + slack and self.t_d <= self.t_p + slack):
             raise AnalysisError(
                 f"inconsistent time constants: T_R={self.t_r}, "

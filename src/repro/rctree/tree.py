@@ -27,6 +27,11 @@ class RCTree:
     _parent: Dict[str, Tuple[str, float]] = field(default_factory=dict)
     _children: Dict[str, List[str]] = field(default_factory=dict)
     _cap: Dict[str, float] = field(default_factory=dict)
+    #: memoized root->node path resistances.  Edges are append-only (a
+    #: node's path to the root never changes once added), so entries
+    #: never go stale — no invalidation needed.
+    _rpath: Dict[str, float] = field(default_factory=dict, repr=False,
+                                     compare=False)
 
     def __post_init__(self) -> None:
         self._cap.setdefault(self.root, 0.0)
@@ -97,8 +102,31 @@ class RCTree:
             current = parent
 
     def path_resistance(self, node: str) -> float:
-        """``R_ii``: total resistance from the root down to *node*."""
-        return sum(r for _, _, r in self.path_to_root(node))
+        """``R_ii``: total resistance from the root down to *node*.
+
+        Memoized as a prefix sum: the walk up stops at the first cached
+        ancestor and fills the cache for every node it crossed, so N
+        queries over one tree cost O(N) total instead of O(N * depth) —
+        the scalar reference for the vectorized kernel's ``rpath`` pass.
+        """
+        if node not in self._cap:
+            raise AnalysisError(f"unknown node {node!r}")
+        cache = self._rpath
+        chain: List[Tuple[str, float]] = []
+        current = node
+        total = 0.0
+        while current != self.root:
+            hit = cache.get(current)
+            if hit is not None:
+                total = hit
+                break
+            parent, resistance = self._parent[current]
+            chain.append((current, resistance))
+            current = parent
+        for name, resistance in reversed(chain):
+            total += resistance
+            cache[name] = total
+        return total
 
     def shared_resistance(self, node_i: str, node_k: str) -> float:
         """``R_ki``: resistance of the portion of the root→k path shared
