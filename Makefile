@@ -16,14 +16,26 @@
 #                   kernels on rca32 into BENCH_kernel.json, rca8
 #                   arrival differential at 1e-9, and the >=3x speedup
 #                   gate over the pre-kernel BENCH_timing.json baseline
+#   make perf-delta the delta-sweep bench: dirty-cone re-analysis vs
+#                   the full batch on rca32 x 64 Gray-ordered vectors
+#                   into BENCH_delta.json; enforces bit-identity, the
+#                   >=3x stage-visit gate, and the 25% counter /
+#                   2x wall regression gates
 #   make check      all of the above, in cheapest-first order
 #   make bench      regenerate every paper table/figure (long)
+#   make bench-all  refresh every BENCH_*.json baseline in one pass and
+#                   commit the updated files (run after perf-relevant
+#                   changes so the committed baselines track reality)
 
 PYTHONPATH := src
 PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
-.PHONY: test test-slow perf perf-parallel perf-kernel check check-fast \
-        bench goldens
+BENCH_FILES := benchmarks/BENCH_timing.json benchmarks/BENCH_batch.json \
+               benchmarks/BENCH_parallel.json benchmarks/BENCH_kernel.json \
+               benchmarks/BENCH_delta.json
+
+.PHONY: test test-slow perf perf-parallel perf-kernel perf-delta check \
+        check-fast bench bench-all goldens
 
 test:
 	$(PYTEST) -x -q
@@ -33,7 +45,8 @@ test-slow:
 
 perf:
 	$(PYTEST) benchmarks/bench_perf_regression.py \
-	          benchmarks/bench_batch_sweep.py -q -s
+	          benchmarks/bench_batch_sweep.py \
+	          benchmarks/bench_delta_sweep.py -q -s
 
 perf-parallel:
 	$(PYTEST) benchmarks/bench_parallel.py -q -s
@@ -41,11 +54,28 @@ perf-parallel:
 perf-kernel:
 	$(PYTEST) benchmarks/bench_kernel.py -q -s
 
+perf-delta:
+	$(PYTEST) benchmarks/bench_delta_sweep.py -q -s
+
 check: test test-slow perf perf-parallel perf-kernel
 
 # CI's gate: everything in `check` except the slow tier (analog golden
 # references are too heavy for shared runners).
 check-fast: test perf perf-parallel perf-kernel
+
+# Refresh every perf baseline and commit the result.  REPRO_BENCH_NO_FAIL
+# disables the wall-clock guards (new hardware re-records cleanly); the
+# deterministic counter gates still apply.
+bench-all:
+	REPRO_BENCH_NO_FAIL=1 $(PYTEST) \
+	          benchmarks/bench_perf_regression.py \
+	          benchmarks/bench_batch_sweep.py \
+	          benchmarks/bench_parallel.py \
+	          benchmarks/bench_kernel.py \
+	          benchmarks/bench_delta_sweep.py -q -s
+	git add $(BENCH_FILES)
+	git diff --cached --quiet -- $(BENCH_FILES) || \
+	          git commit -m "Refresh perf baselines" -- $(BENCH_FILES)
 
 bench:
 	$(PYTEST) benchmarks/ -q -s

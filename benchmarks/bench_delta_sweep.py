@@ -1,0 +1,148 @@
+"""Machine-readable trajectory for the delta-driven sweep engine.
+
+Runs 64 Gray-ordered cartesian vectors (6 binary axes on high-order
+input bits) over the 32-bit ripple-carry adder two ways — dirty-cone
+delta re-analysis (``analyze_many(delta=True)``) versus the full batch
+worklist per scenario — and writes ``BENCH_delta.json`` next to this
+file: wall time and stage-visit counts for both sides, the visit ratio,
+the cone/skip counters, and a bounded history of previous runs.
+
+The run **fails** when
+
+* any per-scenario arrival differs between the delta and full runs (the
+  delta path must inherit the engine's equivalence guarantee), or
+* delta re-analysis needs less than 3× fewer stage visits per scenario
+  than the full batch (the ISSUE-7 acceptance bar), or
+* the delta sweep's stage-visit count regresses more than 25 % over the
+  committed baseline (deterministic, so a trip is a genuine dirty-cone
+  regression), or
+* the delta sweep's wall time exceeds twice the *best* sample in the
+  recorded history.  Wall time is noisy on shared machines, so only a
+  2x blowout over the historical best is treated as signal; set
+  ``REPRO_BENCH_NO_FAIL=1`` to record without enforcing the wall guard.
+  The counter gates always apply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.batch import CartesianSweep, order_vectors
+from repro.bench import delta_sweep_comparison
+from repro.circuits import adder_input_names, ripple_carry_adder
+
+RESULT_FILE = pathlib.Path(__file__).parent / "BENCH_delta.json"
+
+#: Allowed delta-sweep stage-visit growth over the baseline before failing.
+REGRESSION_TOLERANCE = 1.25
+
+#: Wall-clock guard: fail only beyond this multiple of the historical best.
+WALL_TOLERANCE = 2.0
+
+#: The ISSUE-7 acceptance bar: ≥3× fewer stage visits per scenario.
+MIN_VISIT_RATIO = 3.0
+
+BITS = 32
+#: Six binary axes spread across the high half of the carry chain: 2^6 =
+#: 64 vectors whose Gray ordering flips exactly one input per step, so
+#: each delta scenario's dirty cone is one operand bit's downstream.
+AXES = ("a16", "b18", "a21", "b24", "a27", "b31")
+EARLY = 0.0
+LATE = 0.5e-9
+SLOPE = 0.3e-9
+
+HISTORY_LIMIT = 50
+
+
+def test_delta_sweep(cmos_char, emit):
+    network = ripple_carry_adder(cmos_char, BITS)
+    base = {name: EARLY for name in adder_input_names(BITS)}
+    source = CartesianSweep(base=base,
+                            axes={name: [EARLY, LATE] for name in AXES})
+    vectors = list(source)
+    permutation = order_vectors(vectors, "gray", source)
+    ordered = [vectors[position].inputs for position in permutation]
+    row = delta_sweep_comparison(network, ordered)
+
+    visits_delta = row.delta_stage_visits / row.scenarios
+    visits_full = row.full_stage_visits / row.scenarios
+    lines = [
+        f"delta sweep (rca{BITS}, {len(ordered)} Gray-ordered vectors, "
+        f"{len(AXES)} binary axes)",
+        f"{'side':<8} {'seconds':>9} {'visits':>9} {'visits/scn':>11}",
+        f"{'delta':<8} {row.delta_seconds:>9.3f} "
+        f"{row.delta_stage_visits:>9} {visits_delta:>11.1f}",
+        f"{'full':<8} {row.full_seconds:>9.3f} "
+        f"{row.full_stage_visits:>9} {visits_full:>11.1f}",
+        f"visit ratio: {row.visit_ratio:.1f}x fewer stage visits "
+        f"per scenario",
+        f"cone skip rate: {row.skip_rate:.1%}",
+        f"wall speedup: {row.speedup:.1f}x",
+        f"bit-identical arrivals: {row.identical}",
+    ]
+    emit("delta_sweep", "\n".join(lines))
+
+    previous = None
+    history = []
+    if RESULT_FILE.exists():
+        recorded = json.loads(RESULT_FILE.read_text())
+        previous = recorded.get("delta", {})
+        history = recorded.get("history", [])
+
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "delta_seconds": row.delta_seconds,
+        "visit_ratio": row.visit_ratio,
+    })
+    payload = {
+        "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "delta": {
+            "circuit": f"rca{BITS}",
+            "scenarios": row.scenarios,
+            "delta_seconds": row.delta_seconds,
+            "full_seconds": row.full_seconds,
+            "delta_stage_visits": row.delta_stage_visits,
+            "full_stage_visits": row.full_stage_visits,
+            "visit_ratio": row.visit_ratio,
+            "skip_rate": row.skip_rate,
+            "identical": row.identical,
+            "delta_counters": row.delta_counters,
+        },
+        "history": history[-HISTORY_LIMIT:],
+    }
+    RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert row.identical, (
+        "delta sweep diverged from the full-batch reference")
+    assert row.scenarios == len(ordered)
+    assert row.visit_ratio >= MIN_VISIT_RATIO, (
+        f"dirty-cone re-analysis only saved {row.visit_ratio:.1f}x stage "
+        f"visits per scenario (need >= {MIN_VISIT_RATIO:.0f}x)")
+
+    if previous:
+        # Deterministic gate: the dirty cone must not regress.
+        recorded_visits = previous.get("delta_stage_visits")
+        if recorded_visits:
+            assert (row.delta_stage_visits
+                    <= recorded_visits * REGRESSION_TOLERANCE), (
+                f"delta sweep stage visits regressed: "
+                f"{row.delta_stage_visits} vs recorded baseline "
+                f"{recorded_visits} (>{REGRESSION_TOLERANCE:.0%})")
+
+        # Noise-tolerant wall guard against the historical best sample.
+        past_walls = [h.get("delta_seconds") for h in history[:-1]
+                      if h.get("delta_seconds")]
+        if past_walls and not os.environ.get("REPRO_BENCH_NO_FAIL"):
+            best = min(past_walls)
+            assert row.delta_seconds <= best * WALL_TOLERANCE, (
+                f"delta sweep wall time blew out: {row.delta_seconds:.3f}s "
+                f"vs historical best {best:.3f}s (>{WALL_TOLERANCE:.0f}x); "
+                "set REPRO_BENCH_NO_FAIL=1 to re-record on new hardware")

@@ -7,27 +7,39 @@ engine (:mod:`repro.batch.sweep`), and the summary/profile reports
 """
 
 from .vectors import (
+    VECTOR_ORDERS,
     CartesianSweep,
     ExplicitVectors,
     RandomVectors,
     Vector,
     VectorSource,
+    greedy_hamming_order,
     load_vector_file,
+    order_vectors,
+    pair_deltas,
     parse_timing_token,
     parse_vector_line,
+    vector_delta,
 )
-from .sweep import ScenarioOutcome, SweepResult, run_scenarios, run_sweep
+from .sweep import (OrderStats, ScenarioOutcome, SweepResult, run_scenarios,
+                    run_sweep)
 from .report import format_sweep_profile, format_sweep_summary
 
 __all__ = [
+    "VECTOR_ORDERS",
     "CartesianSweep",
     "ExplicitVectors",
     "RandomVectors",
     "Vector",
     "VectorSource",
+    "greedy_hamming_order",
     "load_vector_file",
+    "order_vectors",
+    "pair_deltas",
     "parse_timing_token",
     "parse_vector_line",
+    "vector_delta",
+    "OrderStats",
     "ScenarioOutcome",
     "SweepResult",
     "run_scenarios",

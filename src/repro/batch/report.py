@@ -30,6 +30,11 @@ def format_sweep_summary(sweep: SweepResult, count: int = 20,
         f"sweep summary: {len(sweep)} scenario(s) on "
         f"{sweep.network.name} (model: {sweep.model_name}, "
         f"watching {watched})",
+    ]
+    stats_line = _order_line(sweep)
+    if stats_line:
+        lines.append(stats_line)
+    lines += [
         "",
         f"{'scenario':<24} {'worst event':>14} {'arrival':>12} "
         f"{'vs mean':>10}",
@@ -59,6 +64,20 @@ def format_sweep_summary(sweep: SweepResult, count: int = 20,
             worst.result, worst.worst_event.node,
             worst.worst_event.transition)]
     return "\n".join(lines)
+
+
+def _order_line(sweep: SweepResult) -> str:
+    """One line describing delta mode and analysis order, or ''."""
+    stats = sweep.order_stats
+    if stats is None or (not stats.delta and stats.order == "given"):
+        return ""
+    mode = "delta (dirty-cone)" if stats.delta else "full re-analysis"
+    line = f"analysis: {mode}, order {stats.order}"
+    mean = stats.mean_delta
+    if mean is not None:
+        line += (f", input delta mean {mean:.2f} / max {stats.max_delta} "
+                 "between consecutive vectors")
+    return line
 
 
 def format_sweep_profile(sweep: SweepResult) -> str:

@@ -15,7 +15,7 @@ and ``benchmarks/bench_batch_sweep.py`` lock that equivalence down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 from ..core.models import DelayModel
 from ..core.timing import TimingAnalyzer, TimingResult
@@ -24,9 +24,10 @@ from ..core.timing.paths import StateMap
 from ..errors import ReproError, SweepError
 from ..netlist import Network
 from ..perf import BatchPerf, ParallelPerf, PerfCounters
-from .vectors import ExplicitVectors, Vector, VectorSource
+from .vectors import (ExplicitVectors, Vector, VectorSource, order_vectors,
+                      pair_deltas)
 
-__all__ = ["ScenarioOutcome", "SweepResult", "run_sweep"]
+__all__ = ["OrderStats", "ScenarioOutcome", "SweepResult", "run_sweep"]
 
 
 @dataclass
@@ -45,6 +46,30 @@ class ScenarioOutcome:
         return self.worst_arrival.time
 
 
+@dataclass(frozen=True)
+class OrderStats:
+    """How the sweep's analysis order looked to the delta engine."""
+
+    #: the requested ordering ("given" / "gray" / "greedy")
+    order: str
+    #: whether scenarios ran through dirty-cone delta re-analysis
+    delta: bool
+    #: Hamming delta between consecutive *analyzed* vectors (index 0 is
+    #: the cold start and reports 0)
+    deltas: Tuple[int, ...] = ()
+
+    @property
+    def mean_delta(self) -> Optional[float]:
+        """Mean inputs changed between consecutive analyzed vectors."""
+        if len(self.deltas) < 2:
+            return None
+        return sum(self.deltas[1:]) / (len(self.deltas) - 1)
+
+    @property
+    def max_delta(self) -> int:
+        return max(self.deltas[1:], default=0)
+
+
 @dataclass
 class SweepResult:
     """Complete output of one batch sweep."""
@@ -58,6 +83,8 @@ class SweepResult:
     watch: Optional[List[str]] = None
     #: stats of the scenario-sharded executor, when the sweep used one
     parallel: Optional[ParallelPerf] = None
+    #: analysis-order / delta-mode stats (None on pre-delta call paths)
+    order_stats: Optional[OrderStats] = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -107,7 +134,15 @@ def _validate_vectors(analyzer: TimingAnalyzer,
     surfacing as a deep engine error (possibly from inside a worker
     process) after other vectors were already analyzed.
     """
-    for vector in vectors:
+    labels: dict = {}
+    for position, vector in enumerate(vectors):
+        previous = labels.get(vector.label)
+        if previous is not None:
+            raise SweepError(
+                f"duplicate vector label {vector.label!r} (vectors "
+                f"{previous} and {position} collide); labels key reports "
+                "and lookups, so every vector needs its own")
+        labels[vector.label] = position
         try:
             analyzer._normalize_inputs(vector.inputs)
         except ReproError as exc:
@@ -125,7 +160,9 @@ def run_sweep(network: Network,
               analyzer: Optional[TimingAnalyzer] = None,
               jobs: int = 1,
               parallel_config=None,
-              kernel: str = "numpy") -> SweepResult:
+              kernel: str = "numpy",
+              delta: bool = False,
+              order: str = "given") -> SweepResult:
     """Run every vector of *source* through one shared analyzer.
 
     Pass an existing *analyzer* to extend a previous sweep with its
@@ -133,10 +170,23 @@ def run_sweep(network: Network,
     is built from the other arguments.  *watch* restricts the worst-
     arrival ranking to the named nodes (e.g. the outputs that matter).
 
+    ``delta=True`` analyzes consecutive vectors through
+    :meth:`~repro.core.timing.TimingAnalyzer.analyze_delta`: only the
+    stages inside the changed inputs' dirty cone are re-evaluated, the
+    rest keep their committed arrivals (bit-identical, see DESIGN.md
+    §5e).  *order* reorders the **analysis** sequence to minimize those
+    deltas — ``"gray"`` (cartesian sources; falls back to greedy
+    elsewhere) or ``"greedy"`` nearest-neighbour Hamming ordering —
+    while outcomes, labels, and reports stay in the source's original
+    order.
+
     ``jobs > 1`` shards the vectors across that many worker processes,
     each owning a warm analyzer clone (scenario sharding, DESIGN.md
     §5c); results and reports are byte-identical to ``jobs=1``, and the
-    executor's stats land on :attr:`SweepResult.parallel`.
+    executor's stats land on :attr:`SweepResult.parallel`.  With
+    ``delta=True`` the shard boundaries prefer high-delta cut points so
+    low-Hamming runs stay on one worker, and each chunk cold-starts its
+    first vector.
     """
     if analyzer is None:
         analyzer = TimingAnalyzer(network, model=model, states=states,
@@ -150,12 +200,20 @@ def run_sweep(network: Network,
         raise SweepError("vector source produced no vectors")
     _validate_vectors(analyzer, vectors)
 
+    permutation = order_vectors(vectors, order, source)
+    ordered = [vectors[position] for position in permutation]
+    sweep.order_stats = OrderStats(order=order, delta=delta,
+                                   deltas=tuple(pair_deltas(ordered)))
+
     if jobs > 1 and len(vectors) > 1:
-        results = _analyze_sharded(analyzer, vectors, jobs,
-                                   parallel_config, sweep)
+        results = _analyze_sharded(analyzer, ordered, permutation, jobs,
+                                   parallel_config, sweep, delta)
     else:
-        raw = [vector.inputs for vector in vectors]
-        results = analyzer.analyze_many(raw)
+        raw = [vector.inputs for vector in ordered]
+        in_order = analyzer.analyze_many(raw, delta=delta)
+        results = [None] * len(vectors)
+        for position, result in zip(permutation, in_order):
+            results[position] = result
     for vector, result in zip(vectors, results):
         worst_event, worst_arrival = result.worst(nodes=watch)
         sweep.outcomes.append(ScenarioOutcome(
@@ -166,19 +224,28 @@ def run_sweep(network: Network,
     return sweep
 
 
-def _analyze_sharded(analyzer: TimingAnalyzer, vectors: List[Vector],
-                     jobs: int, parallel_config,
-                     sweep: SweepResult) -> List[TimingResult]:
-    """Scenario-sharded analysis: contiguous vector blocks per worker."""
+def _analyze_sharded(analyzer: TimingAnalyzer, ordered: List[Vector],
+                     permutation: List[int], jobs: int, parallel_config,
+                     sweep: SweepResult, delta: bool) -> List[TimingResult]:
+    """Scenario-sharded analysis: contiguous vector blocks per worker.
+
+    *ordered* is the analysis sequence; each item ships tagged with its
+    original source position, so the position-sorted outcomes slot
+    straight back into source order regardless of ordering or sharding.
+    """
     from ..parallel import AnalyzerSpec, ParallelConfig, run_vectors_sharded
 
     config = parallel_config or ParallelConfig()
     config.jobs = jobs
     spec = AnalyzerSpec.from_analyzer(analyzer)
     items = [(position, vector.label, vector.inputs)
-             for position, vector in enumerate(vectors)]
+             for position, vector in zip(permutation, ordered)]
+    boundary_deltas = (list(sweep.order_stats.deltas)
+                       if sweep.order_stats is not None else None)
     with analyzer.perf.timer("analyze_batch"):
-        outcomes, pperf = run_vectors_sharded(spec, items, config)
+        outcomes, pperf = run_vectors_sharded(
+            spec, items, config, delta=delta,
+            boundary_deltas=boundary_deltas if delta else None)
     sweep.parallel = pperf
 
     results: List[TimingResult] = []

@@ -44,7 +44,15 @@ __all__ = [
     "parse_timing_token",
     "parse_vector_line",
     "load_vector_file",
+    "vector_delta",
+    "pair_deltas",
+    "greedy_hamming_order",
+    "order_vectors",
+    "VECTOR_ORDERS",
 ]
+
+#: Orders :func:`order_vectors` understands (also the CLI's ``--order``).
+VECTOR_ORDERS = ("given", "gray", "greedy")
 
 
 @dataclass(frozen=True)
@@ -191,29 +199,57 @@ class CartesianSweep(VectorSource):
     base: Mapping[str, object]
     axes: Mapping[str, List[object]]
 
-    def vectors(self) -> Iterator[Vector]:
+    def _shape(self) -> Tuple[List[str], List[int]]:
         names = list(self.axes)
         if not names:
             raise SweepError("cartesian sweep needs at least one axis")
         for name in names:
             if not self.axes[name]:
                 raise SweepError(f"sweep axis {name!r} has no values")
+        return names, [len(self.axes[name]) for name in names]
+
+    def _vector_at(self, names: List[str], counters: List[int]) -> Vector:
+        inputs = {n: _as_spec(s) for n, s in self.base.items()}
+        parts = []
+        for name, position in zip(names, counters):
+            value = self.axes[name][position]
+            inputs[name] = _as_spec(value)
+            parts.append(f"{name}={_axis_label(value)}")
+        return Vector(label=",".join(parts), inputs=inputs)
+
+    def vectors(self) -> Iterator[Vector]:
+        names, radices = self._shape()
         counters = [0] * len(names)
         while True:
-            inputs = {n: _as_spec(s) for n, s in self.base.items()}
-            parts = []
-            for name, position in zip(names, counters):
-                value = self.axes[name][position]
-                inputs[name] = _as_spec(value)
-                parts.append(f"{name}={_axis_label(value)}")
-            yield Vector(label=",".join(parts), inputs=inputs)
+            yield self._vector_at(names, counters)
             for index in reversed(range(len(names))):
                 counters[index] += 1
-                if counters[index] < len(self.axes[names[index]]):
+                if counters[index] < radices[index]:
                     break
                 counters[index] = 0
             else:
                 return
+
+    def gray_permutation(self) -> List[int]:
+        """Row-major positions in mixed-radix reflected-Gray visit order.
+
+        Consecutive entries name vectors that differ in exactly **one**
+        axis (by one step) — the minimum possible input Hamming delta
+        between neighbours, which is what makes Gray ordering the ideal
+        feed for the delta sweep engine.
+        """
+        _names, radices = self._shape()
+        total = 1
+        for radix in radices:
+            total *= radix
+        permutation = []
+        for index in range(total):
+            digits = _gray_digits(index, radices)
+            position = 0
+            for digit, radix in zip(digits, radices):
+                position = position * radix + digit
+            permutation.append(position)
+        return permutation
 
 
 @dataclass
@@ -223,8 +259,11 @@ class RandomVectors(VectorSource):
     Every node in ``input_names`` gets both edges at an arrival drawn
     uniformly from ``[0, span]`` (quantized to ``resolution`` so runs are
     human-readable), with the given ``slope``.  The same seed always
-    produces the same vectors — the property the differential tests and
-    the batch bench rely on.
+    produces the same vectors — **platform-deterministically**: draws go
+    through a private ``random.Random(seed)`` (never the process-global
+    RNG, which other code could have advanced) and are integer grid
+    picks, so there is no float-rounding drift across OS/architecture.
+    ``tests/test_delta_sweep.py`` pins exact values for a fixed seed.
     """
 
     input_names: List[str]
@@ -253,6 +292,111 @@ class RandomVectors(VectorSource):
 
     def __len__(self) -> int:
         return max(self.count, 0)
+
+
+def _gray_digits(index: int, radices: List[int]) -> List[int]:
+    """The *index*-th tuple of the mixed-radix reflected Gray code.
+
+    Standard reflection: within odd-numbered blocks of a digit, the less
+    significant digits run backwards, so advancing ``index`` by one
+    changes exactly one digit by ±1.
+    """
+    total = 1
+    for radix in radices:
+        total *= radix
+    digits = []
+    remainder = index
+    for radix in radices:
+        total //= radix
+        digit = remainder // total
+        remainder %= total
+        if digit % 2 == 1:
+            remainder = total - 1 - remainder
+        digits.append(digit)
+    return digits
+
+
+# ---------------------------------------------------------------------------
+# Delta-minimizing vector ordering
+# ---------------------------------------------------------------------------
+
+def vector_delta(a: Vector, b: Vector) -> int:
+    """Input Hamming distance: how many inputs have a different spec.
+
+    This is exactly the number of primary inputs
+    :meth:`~repro.core.timing.TimingAnalyzer.analyze_delta` will seed —
+    the smaller it is between consecutive sweep vectors, the smaller the
+    dirty cone each scenario re-evaluates.
+    """
+    count = 0
+    for name, spec in a.inputs.items():
+        if b.inputs.get(name) != spec:
+            count += 1
+    for name in b.inputs:
+        if name not in a.inputs:
+            count += 1
+    return count
+
+
+def pair_deltas(vectors: List[Vector]) -> List[int]:
+    """Hamming delta between each vector and its predecessor (index 0
+    has no predecessor and reports 0 — a cold start)."""
+    deltas = [0] * len(vectors)
+    for index in range(1, len(vectors)):
+        deltas[index] = vector_delta(vectors[index - 1], vectors[index])
+    return deltas
+
+
+def greedy_hamming_order(vectors: List[Vector]) -> List[int]:
+    """Nearest-neighbour ordering by input Hamming distance.
+
+    Starts at the first vector and repeatedly appends the closest
+    unvisited one (ties broken by original position, so the result is
+    fully deterministic).  O(n²) spec comparisons — fine for the
+    hundreds-of-vectors sweeps this engine targets.
+    """
+    count = len(vectors)
+    if count <= 2:
+        return list(range(count))
+    remaining = set(range(1, count))
+    order = [0]
+    current = 0
+    while remaining:
+        nearest = min(remaining, key=lambda i: (
+            vector_delta(vectors[current], vectors[i]), i))
+        order.append(nearest)
+        remaining.discard(nearest)
+        current = nearest
+    return order
+
+
+def order_vectors(vectors: List[Vector], order: str,
+                  source: object = None) -> List[int]:
+    """Analysis-order permutation of *vectors* (original positions).
+
+    * ``"given"`` — the source's own order;
+    * ``"gray"`` — mixed-radix reflected Gray code when *source* is a
+      :class:`CartesianSweep` (adjacent vectors differ in one axis);
+      other sources have no axis structure, so this falls back to
+      ``"greedy"``;
+    * ``"greedy"`` — nearest-neighbour Hamming ordering.
+
+    Labels stay attached to their vectors, and the sweep engine restores
+    original order in reports — ordering only changes *analysis* order.
+    """
+    if order not in VECTOR_ORDERS:
+        raise SweepError(
+            f"unknown vector order {order!r} (expected one of "
+            f"{', '.join(VECTOR_ORDERS)})")
+    if order == "given":
+        return list(range(len(vectors)))
+    if order == "gray":
+        if isinstance(source, CartesianSweep):
+            permutation = source.gray_permutation()
+            if len(permutation) == len(vectors):
+                return permutation
+        order = "greedy"
+    return greedy_hamming_order(vectors)
 
 
 def _as_spec(value: object) -> InputSpec:

@@ -3,11 +3,13 @@
 from .harness import (
     BatchRuntimeRow,
     ComparisonRow,
+    DeltaSweepRow,
     ErrorSummary,
     ModelEstimate,
     RuntimeRow,
     Scenario,
     batch_runtime_comparison,
+    delta_sweep_comparison,
     model_delay,
     reference_delay,
     run_scenario,
@@ -28,6 +30,8 @@ __all__ = [
     "BatchRuntimeRow",
     "batch_runtime_comparison",
     "ComparisonRow",
+    "DeltaSweepRow",
+    "delta_sweep_comparison",
     "ErrorSummary",
     "ModelEstimate",
     "RuntimeRow",

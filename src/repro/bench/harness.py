@@ -318,6 +318,89 @@ def batch_runtime_comparison(network: Network,
     )
 
 
+@dataclass
+class DeltaSweepRow:
+    """Dirty-cone delta sweep vs the full shared-analyzer batch.
+
+    The acceptance number of the delta work: ``visit_ratio`` is how many
+    times fewer stage visits per scenario delta re-analysis needs on the
+    same (low input-delta) vector sequence, and ``identical`` certifies
+    the skipped work changed no answer.
+    """
+
+    circuit: str
+    scenarios: int
+    delta_seconds: float
+    full_seconds: float
+    delta_stage_visits: int
+    full_stage_visits: int
+    identical: bool
+    #: cumulative counters of the delta run (cone sizes, skips, reuse)
+    delta_counters: Optional[Dict[str, int]] = None
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.delta_seconds <= 0:
+            return None
+        return self.full_seconds / self.delta_seconds
+
+    @property
+    def visit_ratio(self) -> Optional[float]:
+        """Full-batch stage visits over delta-sweep stage visits."""
+        if self.delta_stage_visits <= 0:
+            return math.inf if self.full_stage_visits else None
+        return self.full_stage_visits / self.delta_stage_visits
+
+    @property
+    def skip_rate(self) -> Optional[float]:
+        counters = self.delta_counters or {}
+        cone = counters.get("cone_stages", 0)
+        skipped = counters.get("stages_skipped", 0)
+        seen = cone + skipped
+        return (skipped / seen) if seen else None
+
+
+def delta_sweep_comparison(network: Network,
+                           vectors: Sequence[Mapping[str, object]],
+                           model: Optional[DelayModel] = None,
+                           kernel: str = "numpy") -> DeltaSweepRow:
+    """Measure ``analyze_many(delta=True)`` against the full batch.
+
+    Both sides share one warm analyzer apiece and see the vectors in the
+    same order, so the only difference is dirty-cone re-analysis versus
+    a full worklist per scenario — the ratio isolates the delta engine.
+    Per-scenario arrivals are compared event by event (times, slopes,
+    causal links) and any difference clears ``identical``.
+    """
+    full_analyzer = TimingAnalyzer(network, model=model, kernel=kernel)
+    start = time.perf_counter()
+    full_results = full_analyzer.analyze_many(vectors)
+    full_seconds = time.perf_counter() - start
+
+    delta_analyzer = TimingAnalyzer(network, model=model, kernel=kernel)
+    start = time.perf_counter()
+    delta_results = delta_analyzer.analyze_many(vectors, delta=True)
+    delta_seconds = time.perf_counter() - start
+
+    identical = all(
+        _results_identical(delta, full)
+        for delta, full in zip(delta_results, full_results))
+    delta_visits = sum(r.perf.get("stage_visits")
+                       for r in delta_results if r.perf)
+    full_visits = sum(r.perf.get("stage_visits")
+                      for r in full_results if r.perf)
+    return DeltaSweepRow(
+        circuit=network.name,
+        scenarios=len(delta_results),
+        delta_seconds=delta_seconds,
+        full_seconds=full_seconds,
+        delta_stage_visits=delta_visits,
+        full_stage_visits=full_visits,
+        identical=identical,
+        delta_counters=dict(delta_analyzer.perf.counters),
+    )
+
+
 def runtime_comparison(network: Network,
                        timing_inputs: Mapping[str, object],
                        drives: Optional[Mapping[str, object]] = None,

@@ -35,6 +35,7 @@ import sys
 from typing import Dict, List, Optional
 
 from .batch import (
+    VECTOR_ORDERS,
     CartesianSweep,
     RandomVectors,
     format_sweep_profile,
@@ -240,7 +241,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     source = _sweep_source(args, network, slope)
     sweep = run_sweep(network, source, model=model,
                       slope_quantum=args.slope_quantum, watch=args.watch,
-                      jobs=args.jobs, kernel=args.kernel)
+                      jobs=args.jobs, kernel=args.kernel,
+                      delta=args.delta, order=args.order)
     if args.profile:
         print(format_sweep_profile(sweep))
         print()
@@ -368,6 +370,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="RC-tree delay kernel: vectorized tree templates "
                         "(numpy, default) or the scalar dict-tree "
                         "reference (python); results agree to 1e-9")
+    p.add_argument("--delta", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="dirty-cone delta re-analysis between consecutive "
+                        "vectors (default on; results are bit-identical, "
+                        "--no-delta re-analyzes every vector from scratch)")
+    p.add_argument("--order", default="given", choices=VECTOR_ORDERS,
+                   help="analysis order: given (source order), gray "
+                        "(cartesian Gray code, minimal input deltas), or "
+                        "greedy (nearest-neighbour Hamming); reports stay "
+                        "in source order (default: given)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("hazards", help="charge-sharing hazard scan")

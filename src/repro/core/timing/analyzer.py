@@ -361,6 +361,14 @@ class TimingAnalyzer:
         #: observed delay candidates per stage — the cost model the
         #: parallel chunker balances level fronts with (repro.parallel)
         self.stage_costs = StageCostModel()
+        # Delta carryover: the last completed run's (normalized inputs,
+        # arrivals, ranks).  analyze_delta() re-uses every arrival whose
+        # stage lies outside the changed inputs' dirty cone.  The stored
+        # dicts alias the returned TimingResult's — treat results as
+        # immutable (mutating result.arrivals corrupts the next delta).
+        self._carryover: Optional[Tuple[Dict[str, InputSpec],
+                                        Dict[Event, Arrival],
+                                        Dict[Event, Tuple[int, int]]]] = None
 
     # ------------------------------------------------------------------
 
@@ -380,8 +388,15 @@ class TimingAnalyzer:
         self._delay_cache.clear()
         self._trigger_index.clear()
         self.stage_costs.clear()
+        self._carryover = None
         with self.perf.timer("stage_graph_build"):
             self.graph = StageGraph.build(self.network)
+
+    def clear_carryover(self) -> None:
+        """Forget the last run's arrivals: the next :meth:`analyze_delta`
+        cold-starts.  Cheaper than :meth:`invalidate_caches` — the path/
+        template/memo caches survive (they are input-independent)."""
+        self._carryover = None
 
     def reset_run_state(self) -> None:
         """Clear per-run state without touching analyzer-lifetime caches.
@@ -417,17 +432,115 @@ class TimingAnalyzer:
         self._run_perf = perf
         try:
             with perf.timer("analyze"):
-                arrivals = self._propagate(inputs, perf)
+                arrivals, ranks, normalized = self._propagate(inputs, perf)
         finally:
             self._run_perf = None
             self.perf.merge(perf)
+        self._carryover = (normalized, arrivals, ranks)
         return TimingResult(network=self.network,
                             model_name=self.model.name, arrivals=arrivals,
                             perf=perf)
 
+    def analyze_delta(self, inputs: Mapping[str, Union[InputSpec, float]]
+                      ) -> TimingResult:
+        """Analyze *inputs* by re-using the previous run's arrivals.
+
+        The input Hamming delta against the last analyzed vector picks
+        out the changed primary inputs; every stage outside their dirty
+        cone (:meth:`StageGraph.dirty_cone`) provably sees identical
+        triggers, so its committed arrivals are carried over verbatim.
+        Cone stages have their arrivals dropped and are re-evaluated
+        exhaustively in level order — within the cone this *is* a cold
+        run, so the result is bit-identical to :meth:`analyze` (the
+        delta differential tests lock that equivalence).
+
+        Falls back to a full :meth:`analyze` when there is no carryover
+        (first run, or after :meth:`clear_carryover` /
+        :meth:`invalidate_caches`).  Counters: ``delta_scenarios``,
+        ``input_delta``, ``cone_stages``, ``stages_skipped``,
+        ``arrivals_reused``.
+        """
+        if self._carryover is None:
+            return self.analyze(inputs)
+        if self._run_perf is not None:
+            raise TimingError(
+                "analyze_delta() re-entered: a TimingAnalyzer runs one "
+                "scenario at a time (use reset_run_state() to recover an "
+                "instance whose previous run was corrupted)"
+            )
+        perf = PerfCounters()
+        self._run_perf = perf
+        try:
+            with perf.timer("analyze"):
+                arrivals, ranks, normalized = self._propagate_delta(inputs,
+                                                                    perf)
+        finally:
+            self._run_perf = None
+            self.perf.merge(perf)
+        self._carryover = (normalized, arrivals, ranks)
+        return TimingResult(network=self.network,
+                            model_name=self.model.name, arrivals=arrivals,
+                            perf=perf)
+
+    def _propagate_delta(self, inputs: Mapping[str, Union[InputSpec, float]],
+                         perf: PerfCounters
+                         ) -> Tuple[Dict[Event, Arrival],
+                                    Dict[Event, Tuple[int, int]],
+                                    Dict[str, InputSpec]]:
+        prev_inputs, prev_arrivals, prev_ranks = self._carryover
+        normalized = self._normalize_inputs(inputs)
+        changed = sorted(name for name in normalized
+                         if prev_inputs.get(name) != normalized[name])
+        perf.incr("delta_scenarios")
+        perf.incr("input_delta", len(changed))
+        total_stages = len(self.graph.stages)
+        if not changed:
+            # Identical vector: the previous fixpoint is the answer.
+            perf.incr("stages_skipped", total_stages)
+            perf.incr("arrivals_reused", len(prev_arrivals))
+            return dict(prev_arrivals), dict(prev_ranks), normalized
+
+        cone = self.graph.dirty_cone(changed)
+        perf.incr("cone_stages", len(cone))
+        perf.incr("stages_skipped", total_stages - len(cone))
+
+        arrivals = dict(prev_arrivals)
+        ranks = dict(prev_ranks)
+        stages = self.graph.stages
+        # Drop everything the cone will recompute: every internal event
+        # of a cone stage, and the changed primary inputs' own events.
+        for index in cone:
+            for node in stages[index].internal_nodes:
+                for transition in _TRANSITIONS:
+                    event = Event(node, transition)
+                    if arrivals.pop(event, None) is not None:
+                        ranks.pop(event, None)
+        for name in changed:
+            for transition in _TRANSITIONS:
+                event = Event(name, transition)
+                arrivals.pop(event, None)
+                ranks.pop(event, None)
+        perf.incr("arrivals_reused", len(arrivals))
+
+        # Re-seed the changed primary inputs from their new specs.
+        seeds: List[Tuple[Event, float]] = []
+        for name in changed:
+            spec = normalized[name]
+            for transition in _TRANSITIONS:
+                time = spec.arrival(transition)
+                if time is None:
+                    continue
+                event = Event(name, transition)
+                arrivals[event] = Arrival(time=time, slope=spec.slope)
+                ranks[event] = _PRIMARY_RANK
+                seeds.append((event, time))
+        self._run_worklist(arrivals, ranks, perf, seeds, forced=cone)
+        return arrivals, ranks, normalized
+
     def analyze_many(self,
-                     scenarios: Iterable[Mapping[str, Union[InputSpec, float]]]
-                     ) -> List[TimingResult]:
+                     scenarios: Iterable[Mapping[str, Union[InputSpec,
+                                                            float]]],
+                     delta: bool = False) -> List[TimingResult]:
         """Analyze a batch of input scenarios against this one analyzer.
 
         Every scenario runs with the same analyzer-lifetime caches (path
@@ -443,20 +556,57 @@ class TimingAnalyzer:
         Results are bit-identical to running each scenario through a
         fresh analyzer (the differential tests and
         ``benchmarks/bench_batch_sweep.py`` assert this).
+
+        ``delta=True`` routes every scenario through
+        :meth:`analyze_delta`: consecutive vectors reuse each other's
+        committed arrivals outside the changed inputs' dirty cone, on
+        top of the cache amortization — the fewer inputs change between
+        neighbours, the fewer stages are visited (see
+        ``benchmarks/bench_delta_sweep.py``).  Equally bit-identical.
         """
         results: List[TimingResult] = []
         with self.perf.timer("analyze_batch"):
             for inputs in scenarios:
-                results.append(self.analyze(inputs))
+                results.append(self.analyze_delta(inputs) if delta
+                               else self.analyze(inputs))
         self.perf.incr("batch_scenarios", len(results))
         return results
 
     def _propagate(self, inputs: Mapping[str, Union[InputSpec, float]],
-                   perf: PerfCounters) -> Dict[Event, Arrival]:
+                   perf: PerfCounters
+                   ) -> Tuple[Dict[Event, Arrival],
+                              Dict[Event, Tuple[int, int]],
+                              Dict[str, InputSpec]]:
         arrivals: Dict[Event, Arrival] = {}
         ranks: Dict[Event, Tuple[int, int]] = {}
         normalized = self._normalize_inputs(inputs)
+        seeds: List[Tuple[Event, float]] = []
+        for name, spec in normalized.items():
+            for transition in _TRANSITIONS:
+                time = spec.arrival(transition)
+                if time is None:
+                    continue
+                event = Event(name, transition)
+                arrivals[event] = Arrival(time=time, slope=spec.slope)
+                ranks[event] = _PRIMARY_RANK
+                seeds.append((event, time))
+        self._run_worklist(arrivals, ranks, perf, seeds)
+        return arrivals, ranks, normalized
 
+    def _run_worklist(self, arrivals: Dict[Event, Arrival],
+                      ranks: Dict[Event, Tuple[int, int]],
+                      perf: PerfCounters,
+                      seeds: Iterable[Tuple[Event, float]],
+                      forced: Iterable[int] = ()) -> None:
+        """Drive the priority worklist to its fixpoint.
+
+        *seeds* are (event, time) activations scheduled against the
+        stages they trigger; *forced* stage indices (the delta path's
+        dirty cone) are additionally guaranteed one exhaustive evaluation
+        even if no seed reaches them — a cone stage whose triggers all
+        kept their carried-over arrivals still needs its (deleted)
+        internal arrivals recomputed.
+        """
         stages = self.graph.stages
         levels = self.graph.levels()
         pending: Dict[int, Set[Event]] = {}
@@ -479,33 +629,44 @@ class TimingAnalyzer:
                     heapq.heappush(heap, (priority[0], priority[1], index))
                     perf.incr("worklist_pushes")
 
-        for name, spec in normalized.items():
-            for transition in _TRANSITIONS:
-                time = spec.arrival(transition)
-                if time is None:
-                    continue
-                event = Event(name, transition)
-                arrivals[event] = Arrival(time=time, slope=spec.slope)
-                ranks[event] = _PRIMARY_RANK
-                schedule(event, time)
+        for event, time in seeds:
+            schedule(event, time)
+
+        # Forced stages sort after natural activity within their level
+        # (time = +inf) — by the time one pops, its level's upstream
+        # traffic has been drained, so the exhaustive visit is usually
+        # final, exactly like a cold run's first visit.
+        force_pending: Set[int] = set()
+        for index in sorted(set(forced)):
+            force_pending.add(index)
+            priority = (levels[index], math.inf)
+            best = scheduled.get(index)
+            if best is None or priority < best:
+                scheduled[index] = priority
+                heapq.heappush(heap, (priority[0], priority[1], index))
+                perf.incr("worklist_pushes")
 
         visits: Dict[int, int] = {}
         while heap:
             level, time, index = heapq.heappop(heap)
             if scheduled.get(index) == (level, time):
                 del scheduled[index]
-            events = pending.get(index)
+            events = pending.pop(index, None)
             if not events:
-                perf.incr("worklist_stale_pops")
-                continue
-            del pending[index]
+                if index not in force_pending or index in evaluated:
+                    # Nothing pending and no outstanding forced visit
+                    # (or the forced visit already happened naturally).
+                    force_pending.discard(index)
+                    perf.incr("worklist_stale_pops")
+                    continue
+            force_pending.discard(index)
             stage = stages[index]
             visits[index] = visits.get(index, 0) + 1
             if visits[index] > self.MAX_STAGE_VISITS:
                 nodes = ", ".join(sorted(stage.internal_nodes))
                 raise TimingError(f"timing loop through stage [{nodes}]")
             perf.incr("stage_visits")
-            if self.incremental and index in evaluated:
+            if self.incremental and index in evaluated and events:
                 perf.incr("stage_incremental_evals")
                 changed = self._evaluate_incremental(stage, events, arrivals,
                                                      ranks)
@@ -515,7 +676,6 @@ class TimingAnalyzer:
                 changed = self._evaluate_full(stage, arrivals, ranks)
             for event in changed:
                 schedule(event, arrivals[event].time)
-        return arrivals
 
     # ------------------------------------------------------------------
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from ...netlist import Network
 from ...netlist.stages import Stage, StageMap
@@ -36,6 +36,8 @@ class StageGraph:
     #: stage index -> successor stages, built once (stages are static)
     _successors: Dict[int, List[Stage]] = field(default_factory=dict)
     _levels: Optional[Dict[int, int]] = None
+    #: node name -> forward closure of stage indices (dirty-cone memo)
+    _cones: Dict[str, FrozenSet[int]] = field(default_factory=dict)
 
     @classmethod
     def build(cls, network: Network) -> "StageGraph":
@@ -66,6 +68,39 @@ class StageGraph:
                         cached.append(successor)
             self._successors[stage.index] = cached
         return list(cached)
+
+    # -- dirty cones ---------------------------------------------------
+
+    def node_cone(self, node: str) -> FrozenSet[int]:
+        """Forward closure of stages an event on *node* can reach.
+
+        BFS from the node's sensitivity list through :meth:`successors`
+        (internal nodes feed successor stages), memoized per node — a
+        delta sweep asks for the same few changed-input cones over and
+        over, so after the first vector every cone is a dict lookup.
+        """
+        cached = self._cones.get(node)
+        if cached is None:
+            seen = {stage.index for stage in self.sensitivity.get(node, ())}
+            queue = deque(sorted(seen))
+            while queue:
+                index = queue.popleft()
+                for successor in self.successors(self.stages[index]):
+                    if successor.index not in seen:
+                        seen.add(successor.index)
+                        queue.append(successor.index)
+            cached = self._cones[node] = frozenset(seen)
+        return cached
+
+    def dirty_cone(self, nodes: Iterable[str]) -> FrozenSet[int]:
+        """Stages whose evaluation can depend on any of *nodes* — the set
+        a delta re-analysis must re-evaluate; everything else provably
+        keeps its committed arrivals (no trigger of a stage outside the
+        cone can have changed)."""
+        cone: FrozenSet[int] = frozenset()
+        for node in nodes:
+            cone |= self.node_cone(node)
+        return cone
 
     # -- levelization --------------------------------------------------
 

@@ -19,7 +19,7 @@ wrong or missing answer — with everything observable through
 """
 
 from .chunking import (balanced_chunks, chunk_weight, contiguous_chunks,
-                       structural_weight)
+                       delta_aware_chunks, structural_weight)
 from .executor import (PARENT_SLOT, ParallelConfig, ParallelExecutor,
                        PoolFailure)
 from .level_front import parallel_analyze
@@ -39,6 +39,7 @@ __all__ = [
     "chunk_weight",
     "contiguous_chunks",
     "decode_arrivals",
+    "delta_aware_chunks",
     "encode_arrivals",
     "parallel_analyze",
     "run_vectors_sharded",

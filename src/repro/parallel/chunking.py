@@ -95,5 +95,45 @@ def contiguous_chunks(weights: Sequence[float],
     return chunks
 
 
+def delta_aware_chunks(boundary_deltas: Sequence[int],
+                       jobs: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` spans whose cut points prefer high deltas.
+
+    ``boundary_deltas[i]`` is the input Hamming delta between sweep
+    vectors ``i-1`` and ``i`` (index 0 is the cold start).  A delta sweep
+    pays a full cold analysis at the start of every chunk, so the cheap
+    places to cut are exactly the high-delta boundaries — the worker
+    would have re-evaluated most of the cone there anyway.  Each of the
+    ``jobs-1`` cuts is chosen inside a small window around its
+    equal-count position (keeping chunks near-balanced) as the boundary
+    with the largest delta, ties broken by the earlier position — fully
+    deterministic, and degenerating to :func:`contiguous_chunks` when
+    every delta is equal.
+    """
+    if jobs < 1:
+        raise ValueError(f"need at least one chunk, got jobs={jobs}")
+    count = len(boundary_deltas)
+    if count == 0:
+        return []
+    jobs = min(jobs, count)
+    if jobs == 1:
+        return [(0, count)]
+    window = max(1, count // (4 * jobs))
+    cuts: List[int] = []
+    previous = 0
+    for chunk in range(1, jobs):
+        ideal = round(chunk * count / jobs)
+        lo = max(previous + 1, ideal - window)
+        hi = min(count - (jobs - chunk), ideal + window)
+        if lo > hi:
+            lo = hi = min(max(previous + 1, ideal), count - (jobs - chunk))
+        cut = max(range(lo, hi + 1),
+                  key=lambda i: (boundary_deltas[i], -abs(i - ideal), -i))
+        cuts.append(cut)
+        previous = cut
+    edges = [0] + cuts + [count]
+    return [(edges[i], edges[i + 1]) for i in range(len(edges) - 1)]
+
+
 def chunk_weight(weights: Sequence[float], indices: Sequence[int]) -> float:
     return sum(float(weights[i]) for i in indices)

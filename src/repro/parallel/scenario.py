@@ -25,7 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..core.timing import TimingAnalyzer
 from ..core.timing.analyzer import Arrival, Event
 from ..perf import ParallelPerf
-from .chunking import contiguous_chunks
+from .chunking import contiguous_chunks, delta_aware_chunks
 from .executor import (PARENT_SLOT, ParallelConfig, ParallelExecutor,
                        record_dispatch)
 from .worker import AnalyzerSpec, run_vector_chunk
@@ -47,14 +47,20 @@ def _serial_vector_chunk(spec: AnalyzerSpec):
     state: Dict[str, TimingAnalyzer] = {}
 
     def run(task: Tuple) -> Tuple:
-        chunk_id, vectors = task
+        chunk_id, vectors = task[0], task[1]
+        delta = bool(task[2]) if len(task) > 2 else False
         analyzer = state.get("analyzer")
         if analyzer is None:
             analyzer = state["analyzer"] = spec.build()
         results = []
         start = time.perf_counter()
+        if delta:
+            # same cold-start-per-chunk rule as the worker, so a retried
+            # chunk is byte-identical however it ends up executed
+            analyzer.clear_carryover()
         for position, _label, inputs in vectors:
-            outcome = analyzer.analyze(inputs)
+            outcome = (analyzer.analyze_delta(inputs) if delta
+                       else analyzer.analyze(inputs))
             outcome_perf = outcome.perf
             results.append((position, outcome.arrivals,
                             dict(outcome_perf.counters) if outcome_perf
@@ -69,13 +75,22 @@ def _serial_vector_chunk(spec: AnalyzerSpec):
 
 def run_vectors_sharded(spec: AnalyzerSpec, items: Sequence[VectorItem],
                         config: ParallelConfig,
-                        executor: Optional[ParallelExecutor] = None
+                        executor: Optional[ParallelExecutor] = None,
+                        delta: bool = False,
+                        boundary_deltas: Optional[Sequence[int]] = None
                         ) -> Tuple[List[VectorOutcome], ParallelPerf]:
     """Analyze *items* across the pool; results come back position-sorted.
 
     Returns one :data:`VectorOutcome` per item in ascending original
     position — byte-identical input to the serial sweep's report path —
     plus the run's :class:`ParallelPerf`.
+
+    ``delta=True`` routes each chunk through dirty-cone re-analysis
+    (chunk-local: every chunk cold-starts its first vector, so results
+    stay independent of the sharding).  *boundary_deltas* — the input
+    Hamming delta between consecutive items, when the caller knows it —
+    steers the chunk boundaries toward high-delta cut points via
+    :func:`~repro.parallel.chunking.delta_aware_chunks`.
     """
     pperf = ParallelPerf(jobs=max(config.jobs, 1), strategy="scenario",
                          start_method=config.resolved_start_method())
@@ -87,7 +102,7 @@ def run_vectors_sharded(spec: AnalyzerSpec, items: Sequence[VectorItem],
     if config.jobs <= 1 or len(items) < 2:
         pperf.strategy = "serial"
         pperf.start_method = ""
-        result = serial_fn((0, tuple(items)))
+        result = serial_fn((0, tuple(items), delta))
         dispatch = pperf.dispatch("sweep (serial)")
         pperf.record_chunk(dispatch, PARENT_SLOT, len(items),
                            float(len(items)), result[2])
@@ -96,9 +111,13 @@ def run_vectors_sharded(spec: AnalyzerSpec, items: Sequence[VectorItem],
             pperf.record_template_stats(counters)
         return serial_outcomes, pperf
 
-    weights = [1.0] * len(items)
-    spans = contiguous_chunks(weights, config.jobs)
-    tasks = [(chunk_id, tuple(items[lo:hi]))
+    if delta and boundary_deltas is not None \
+            and len(boundary_deltas) == len(items):
+        spans = delta_aware_chunks(boundary_deltas, config.jobs)
+    else:
+        weights = [1.0] * len(items)
+        spans = contiguous_chunks(weights, config.jobs)
+    tasks = [(chunk_id, tuple(items[lo:hi]), delta)
              for chunk_id, (lo, hi) in enumerate(spans)]
 
     own_executor = executor is None

@@ -218,22 +218,32 @@ def run_stage_chunk(args: Tuple) -> Tuple:
 def run_vector_chunk(args: Tuple) -> Tuple:
     """Analyze one block of sweep vectors against the worker's analyzer.
 
-    ``args``  = (chunk_id, ((position, label, inputs), ...))
+    ``args``  = (chunk_id, ((position, label, inputs), ...)[, delta])
     returns   = (chunk_id, pid, seconds, results) where each result is
     ``(position, arrivals, counters, timers)`` — the full arrival map, so
     the parent can reconstruct a complete :class:`TimingResult` (critical
     paths included) in the original vector order.
+
+    The optional ``delta`` flag (absent in pre-delta task tuples) routes
+    vectors through dirty-cone re-analysis.  Each chunk cold-starts: the
+    worker analyzer's carryover is cleared first, so the chunk's first
+    vector analyzes fully and results never depend on which chunks a
+    worker happened to handle before.
     """
     maybe_inject_fault()
-    chunk_id, vectors = args
+    chunk_id, vectors = args[0], args[1]
+    delta = bool(args[2]) if len(args) > 2 else False
     state = _state()
     analyzer = state.analyzer
     state.tasks_handled += 1
 
     results = []
     start = time.perf_counter()
+    if delta:
+        analyzer.clear_carryover()
     for position, _label, inputs in vectors:
-        outcome = analyzer.analyze(inputs)
+        outcome = (analyzer.analyze_delta(inputs) if delta
+                   else analyzer.analyze(inputs))
         perf = outcome.perf
         results.append((position, outcome.arrivals,
                         dict(perf.counters) if perf else {},

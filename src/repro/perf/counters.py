@@ -43,6 +43,11 @@ STANDARD_COUNTERS: Dict[str, str] = {
     "tree_template_shared": "templates instantiated from an isomorphic stage",
     "kernel_batches": "vectorized-kernel evaluate_many() batches",
     "kernel_nodes": "tree nodes covered by vectorized-kernel batches",
+    "delta_scenarios": "scenarios analyzed by dirty-cone delta re-analysis",
+    "input_delta": "changed primary inputs across delta scenarios (Hamming)",
+    "cone_stages": "stages inside delta dirty cones (re-evaluated)",
+    "stages_skipped": "stages outside delta dirty cones (arrivals kept)",
+    "arrivals_reused": "committed arrivals carried over by delta scenarios",
 }
 
 
@@ -191,6 +196,23 @@ class BatchPerf:
         return self.total.get("model_evals") / len(self.scenarios)
 
     @property
+    def delta_skip_rate(self) -> Optional[float]:
+        """Fraction of stage evaluations the delta engine skipped, or
+        None when the sweep never ran in delta mode."""
+        total = self.total
+        cone = total.get("cone_stages")
+        skipped = total.get("stages_skipped")
+        seen = cone + skipped
+        return (skipped / seen) if seen else None
+
+    def visits_per_scenario(self) -> Optional[float]:
+        """Mean stage visits per scenario — the number the delta bench
+        gates on (dirty-cone re-analysis shrinks it)."""
+        if not self.scenarios:
+            return None
+        return self.total.get("stage_visits") / len(self.scenarios)
+
+    @property
     def template_hit_rate(self) -> Optional[float]:
         """Compiled-template reuse fraction across the whole batch, or
         None when the sweep never touched the vectorized kernel."""
@@ -229,4 +251,14 @@ class BatchPerf:
                 f"tree templates: {total.get('tree_template_hits')} hits / "
                 f"{total.get('tree_template_misses')} compiles "
                 f"({template_rate:.1%} reuse)")
+        if total.get("delta_scenarios"):
+            visits = self.visits_per_scenario()
+            skip = self.delta_skip_rate
+            lines.append(
+                f"delta sweeps: {total.get('delta_scenarios')}/"
+                f"{len(self.scenarios)} scenario(s), "
+                f"{total.get('stages_skipped')} stage(s) skipped"
+                + (f" ({skip:.1%})" if skip is not None else "")
+                + f", {total.get('arrivals_reused')} arrival(s) reused, "
+                f"{visits:.1f} stage visits/scenario")
         return "\n".join(lines)

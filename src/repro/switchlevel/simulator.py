@@ -25,6 +25,9 @@ class SimulationTrace:
     """Record of one settle() call: per-iteration node changes."""
 
     events: List[Tuple[int, str, Logic]] = field(default_factory=list)
+    #: stage solves this settle() paid — the delta-sweep analogue for the
+    #: simulator: re-driving few inputs keeps this near the cone size
+    stages_solved: int = 0
 
     def changed_nodes(self) -> Set[str]:
         return {name for _, name, _ in self.events}
@@ -91,6 +94,23 @@ class SwitchSimulator:
         for name, value in assignments.items():
             self.set_input(name, value)
 
+    def set_vector(self, assignments: Mapping[str, object]) -> Set[str]:
+        """Drive a whole input vector; returns the nodes that changed.
+
+        The incremental companion to :meth:`set_inputs`: unchanged
+        assignments mark nothing dirty, so the following
+        :meth:`settle` only re-solves the changed inputs' fanout cone —
+        the simulator-side mirror of the timing engine's delta sweeps.
+        """
+        changed: Set[str] = set()
+        for name, value in assignments.items():
+            canonical = self.network.node(name).name
+            before = self._values[canonical]
+            self.set_input(name, value)
+            if self._values[canonical] is not before:
+                changed.add(canonical)
+        return changed
+
     def settle(self) -> SimulationTrace:
         """Propagate until no stage changes; returns the event trace.
 
@@ -113,6 +133,7 @@ class SwitchSimulator:
                     f"switch-level oscillation in stage [{nodes}]"
                 )
             new_values = solve_stage(self.network, stage, self._values)
+            trace.stages_solved += 1
             for node, value in new_values.items():
                 if self._values[node] is not value:
                     self._values[node] = value
@@ -129,6 +150,10 @@ class SwitchSimulator:
     # ------------------------------------------------------------------
 
     def _mark_dirty(self, node: str) -> None:
+        if node not in self._values:
+            raise SimulationError(
+                f"cannot mark unknown node {node!r} dirty: not a node of "
+                f"network {self.network.name!r}")
         for stage in self._sensitivity.get(node, ()):
             self._dirty.add(stage.index)
 
