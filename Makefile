@@ -21,6 +21,12 @@
 #                   into BENCH_delta.json; enforces bit-identity, the
 #                   >=3x stage-visit gate, and the 25% counter /
 #                   2x wall regression gates
+#   make verify-smoke   the conformance smoke gate: 20 fuzzed netlists x
+#                   the full engine-mode matrix at fixed seed 0 (plus
+#                   metamorphic invariants), must exit clean in <60s
+#   make verify-deep    the deep conformance sweep: 200 cases per seed
+#                   over seeds 0-2; run before releases / after engine
+#                   changes, not in CI
 #   make check      all of the above, in cheapest-first order
 #   make bench      regenerate every paper table/figure (long)
 #   make bench-all  refresh every BENCH_*.json baseline in one pass and
@@ -34,8 +40,8 @@ BENCH_FILES := benchmarks/BENCH_timing.json benchmarks/BENCH_batch.json \
                benchmarks/BENCH_parallel.json benchmarks/BENCH_kernel.json \
                benchmarks/BENCH_delta.json
 
-.PHONY: test test-slow perf perf-parallel perf-kernel perf-delta check \
-        check-fast bench bench-all goldens
+.PHONY: test test-slow perf perf-parallel perf-kernel perf-delta \
+        verify-smoke verify-deep check check-fast bench bench-all goldens
 
 test:
 	$(PYTEST) -x -q
@@ -57,11 +63,21 @@ perf-kernel:
 perf-delta:
 	$(PYTEST) benchmarks/bench_delta_sweep.py -q -s
 
-check: test test-slow perf perf-parallel perf-kernel
+verify-smoke:
+	PYTHONPATH=$(PYTHONPATH) python -m repro.cli verify \
+	          --cases 20 --seed 0 --profile
+
+verify-deep:
+	for seed in 0 1 2; do \
+	    PYTHONPATH=$(PYTHONPATH) python -m repro.cli verify \
+	              --cases 200 --seed $$seed || exit 1; \
+	done
+
+check: test test-slow perf perf-parallel perf-kernel verify-smoke
 
 # CI's gate: everything in `check` except the slow tier (analog golden
 # references are too heavy for shared runners).
-check-fast: test perf perf-parallel perf-kernel
+check-fast: test perf perf-parallel perf-kernel verify-smoke
 
 # Refresh every perf baseline and commit the result.  REPRO_BENCH_NO_FAIL
 # disables the wall-clock guards (new hardware re-records cleanly); the

@@ -13,6 +13,9 @@ from .vectors import (
     RandomVectors,
     Vector,
     VectorSource,
+    dump_vector_file,
+    format_timing_token,
+    format_vector_line,
     greedy_hamming_order,
     load_vector_file,
     order_vectors,
@@ -32,6 +35,9 @@ __all__ = [
     "RandomVectors",
     "Vector",
     "VectorSource",
+    "dump_vector_file",
+    "format_timing_token",
+    "format_vector_line",
     "greedy_hamming_order",
     "load_vector_file",
     "order_vectors",

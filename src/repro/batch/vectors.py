@@ -16,13 +16,21 @@ this module provides the three stock sources:
 Vector-file syntax (one scenario per line)::
 
     # comment / blank lines ignored
-    @label  a=0 b=200p cin=1n:rise en=-
+    @label  a=0 b=200p cin=1n:rise phi=0~500p/100p en=-
 
 Each token is ``NODE=TIME`` (both edges), ``NODE=TIME:rise`` /
-``NODE=TIME:fall`` (one edge), or ``NODE=-`` (static side input).  Times
+``NODE=TIME:fall`` (one edge), ``NODE=RISE~FALL`` (both edges at
+different times — the shape of a clock phase; either side may be ``-``),
+or ``NODE=-`` (static side input).  Any transitioning form takes an
+optional ``/SLOPE`` suffix giving that input's transition time.  Times
 accept engineering suffixes (``2n``, ``500p``).  The optional leading
 ``@label`` names the scenario; unlabeled lines are named ``v0``, ``v1``…
 by position.
+
+:func:`format_timing_token` / :func:`dump_vector_file` write the same
+grammar back out, losslessly — the conformance shrinker
+(:mod:`repro.verify`) depends on that round trip for its reproducer
+artifacts.
 """
 
 from __future__ import annotations
@@ -44,6 +52,9 @@ __all__ = [
     "parse_timing_token",
     "parse_vector_line",
     "load_vector_file",
+    "format_timing_token",
+    "format_vector_line",
+    "dump_vector_file",
     "vector_delta",
     "pair_deltas",
     "greedy_hamming_order",
@@ -63,8 +74,17 @@ class Vector:
     inputs: Mapping[str, InputSpec]
 
 
+def _parse_time(value: str, token: str) -> float:
+    try:
+        return parse_value(value)
+    except Exception as exc:
+        raise SweepError(f"bad time {value!r} in {token!r}: {exc}") from None
+
+
 def parse_timing_token(token: str) -> Tuple[str, InputSpec]:
-    """``name=TIME``, ``name=TIME:rise``, ``name=TIME:fall`` or ``name=-``."""
+    """``name=TIME``, ``name=TIME:rise``, ``name=TIME:fall``,
+    ``name=RISE~FALL`` or ``name=-``; transitioning forms take an
+    optional ``/SLOPE`` suffix."""
     if "=" not in token:
         raise SweepError(f"bad timing token {token!r}; expected name=TIME")
     name, value = token.split("=", 1)
@@ -74,21 +94,79 @@ def parse_timing_token(token: str) -> Tuple[str, InputSpec]:
         raise SweepError(f"bad timing token {token!r}; empty node name")
     if value == "-":
         return name, InputSpec(arrival_rise=None, arrival_fall=None)
+    slope = 0.0
+    if "/" in value:
+        value, slope_text = value.rsplit("/", 1)
+        try:
+            slope = parse_value(slope_text)
+        except Exception as exc:
+            raise SweepError(
+                f"bad slope {slope_text!r} in {token!r}: {exc}") from None
+        if not value or value == "-":
+            raise SweepError(
+                f"slope on static token {token!r} is meaningless")
+    if "~" in value:
+        rise_text, fall_text = value.split("~", 1)
+        rise = None if rise_text == "-" else _parse_time(rise_text, token)
+        fall = None if fall_text == "-" else _parse_time(fall_text, token)
+        return name, InputSpec(arrival_rise=rise, arrival_fall=fall,
+                               slope=slope)
     edge = "both"
     if ":" in value:
         value, edge = value.rsplit(":", 1)
         if edge not in ("rise", "fall"):
             raise SweepError(
                 f"bad edge tag {edge!r} in {token!r}; use :rise or :fall")
-    try:
-        time = parse_value(value)
-    except Exception as exc:
-        raise SweepError(f"bad time {value!r} in {token!r}: {exc}") from None
+    time = _parse_time(value, token)
     if edge == "rise":
-        return name, InputSpec(arrival_rise=time, arrival_fall=None)
+        return name, InputSpec(arrival_rise=time, arrival_fall=None,
+                               slope=slope)
     if edge == "fall":
-        return name, InputSpec(arrival_rise=None, arrival_fall=time)
-    return name, InputSpec(arrival_rise=time, arrival_fall=time)
+        return name, InputSpec(arrival_rise=None, arrival_fall=time,
+                               slope=slope)
+    return name, InputSpec(arrival_rise=time, arrival_fall=time, slope=slope)
+
+
+def format_timing_token(name: str, spec: InputSpec) -> str:
+    """The exact inverse of :func:`parse_timing_token`.
+
+    Times and slopes are written as ``repr(float)`` — full precision, so
+    ``parse_timing_token(format_timing_token(n, s)) == (n, s)`` holds
+    bit-for-bit (the reproducer round-trip tests pin this down).
+    """
+    rise, fall = spec.arrival_rise, spec.arrival_fall
+    if rise is None and fall is None:
+        return f"{name}=-"
+    if rise is not None and fall is not None:
+        times = repr(rise) if rise == fall else f"{rise!r}~{fall!r}"
+    elif rise is not None:
+        times = f"{rise!r}:rise"
+    else:
+        times = f"{fall!r}:fall"
+    slope = f"/{spec.slope!r}" if spec.slope else ""
+    return f"{name}={times}{slope}"
+
+
+def format_vector_line(vector: Vector) -> str:
+    """One :class:`Vector` as a vector-file line (label included)."""
+    tokens = [format_timing_token(name, spec)
+              for name, spec in sorted(vector.inputs.items())]
+    return " ".join([f"@{vector.label}"] + tokens)
+
+
+def dump_vector_file(vectors: Iterable[Vector], path: str,
+                     header: str = "") -> None:
+    """Write *vectors* as a vector file :func:`load_vector_file` reads
+    back identically (labels, times, edges, and slopes all survive)."""
+    lines = []
+    if header:
+        lines.extend(f"# {line}" for line in header.splitlines())
+    lines.extend(format_vector_line(vector) for vector in vectors)
+    try:
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+    except OSError as exc:
+        raise SweepError(f"cannot write vector file: {exc}") from None
 
 
 def with_default_slope(spec: InputSpec, slope: float) -> InputSpec:
@@ -131,7 +209,7 @@ def load_vector_file(path: str,
             lines = handle.readlines()
     except OSError as exc:
         raise SweepError(f"cannot read vector file: {exc}") from None
-    labels = set()
+    labels: Dict[str, Tuple[int, int]] = {}
     for number, raw in enumerate(lines, start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -141,10 +219,15 @@ def load_vector_file(path: str,
                                        default_slope=default_slope)
         except SweepError as exc:
             raise SweepError(str(exc), filename=path, line=number) from None
-        if vector.label in labels:
-            raise SweepError(f"duplicate vector label {vector.label!r}",
-                             filename=path, line=number)
-        labels.add(vector.label)
+        previous = labels.get(vector.label)
+        if previous is not None:
+            prev_index, prev_line = previous
+            raise SweepError(
+                f"duplicate vector label {vector.label!r}: vector "
+                f"{len(vectors)} (line {number}) collides with vector "
+                f"{prev_index} (line {prev_line})",
+                filename=path, line=number)
+        labels[vector.label] = (len(vectors), number)
         vectors.append(vector)
     if not vectors:
         raise SweepError(f"vector file {path!r} contains no vectors")

@@ -9,6 +9,7 @@ from .generators import (
     nor_gate,
     pass_chain,
     precharged_bus,
+    random_logic_dag,
     ring_oscillator,
     xor_gate,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "nor_gate",
     "pass_chain",
     "precharged_bus",
+    "random_logic_dag",
     "ring_oscillator",
     "xor_gate",
     "adder_assignments",

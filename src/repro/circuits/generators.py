@@ -9,6 +9,7 @@ port names (``in``, ``out``, …) and all primary inputs marked.
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional
 
 from ..errors import NetlistError
@@ -184,6 +185,53 @@ def mux_tree(tech: Technology, select_bits: int = 2,
         level_nodes = next_nodes
     gates.load_cap("out", load_cap)
     net.mark_input(*inputs)
+    return net
+
+
+def random_logic_dag(tech: Technology, seed: int, gates: int = 8,
+                     inputs: int = 3,
+                     name: Optional[str] = None) -> Network:
+    """A seeded random feed-forward gate DAG — the conformance fuzzer's
+    workhorse circuit (:mod:`repro.verify`).
+
+    Each of *gates* gates (inverter / NAND2 / NOR2 / XOR) draws its
+    operands from the signals already available (primary inputs plus
+    earlier gate outputs), so the result is feed-forward by construction.
+    Some gate outputs pick up an extra load capacitor on an integer-fF
+    grid (exact under the ``.sim`` round trip).  The same *seed* always
+    builds the same network — draws go through a private
+    ``random.Random``, never the process-global RNG.
+
+    Ports: ``x0..x{inputs-1}`` → ``g0..g{gates-1}``.
+    """
+    if gates < 1:
+        raise NetlistError("need at least one gate")
+    if inputs < 2:
+        raise NetlistError("need at least two primary inputs")
+    rng = random.Random(seed)
+    net = Network(tech, name=name or f"dag{gates}s{seed}")
+    builders = Gates(net)
+    ports = [f"x{i}" for i in range(inputs)]
+    for port in ports:
+        net.add_node(port)
+    signals = list(ports)
+    for index in range(gates):
+        out = f"g{index}"
+        kind = rng.choice(("inv", "nand", "nor", "xor"))
+        a = rng.choice(signals)
+        b = rng.choice(signals)
+        if kind == "inv" or a == b:
+            builders.inverter(a, out)
+        elif kind == "nand":
+            builders.nand([a, b], out)
+        elif kind == "nor":
+            builders.nor([a, b], out)
+        else:
+            builders.xor(a, b, out)
+        if rng.random() < 0.3:
+            builders.load_cap(out, rng.randint(5, 60) * 1e-15)
+        signals.append(out)
+    net.mark_input(*ports)
     return net
 
 

@@ -261,6 +261,45 @@ def cmd_hazards(args: argparse.Namespace) -> int:
     return 1 if hazards and args.strict else 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .perf import PerfCounters
+    from .verify import (ConformanceConfig, ConformanceRunner, check_case,
+                         format_verify_report, load_reproducer, parse_modes)
+
+    tech = _tech(args.tech, characterized=False)
+    perf = PerfCounters()
+
+    if args.replay:
+        case, modes, model_name, manifest = load_reproducer(args.replay,
+                                                            tech)
+        findings = check_case(case, modes, model_name, perf)
+        expected = len(manifest.get("discrepancies", []))
+        print(f"replay {case.name}: {len(findings)} discrepancy(ies) "
+              f"(manifest recorded {expected})")
+        for finding in findings:
+            print(f"  {finding}")
+        if args.profile:
+            print()
+            print(perf.format_table("verify perf counters"))
+        return 1 if findings else 0
+
+    if args.cases < 1:
+        raise ReproError(f"--cases must be at least 1, got {args.cases}")
+    modes = parse_modes(args.modes)
+    config = ConformanceConfig(
+        tech=tech, tech_name=args.tech, model_name=args.model,
+        seed=args.seed, cases=args.cases, max_size=args.max_size,
+        vectors_per_case=args.vectors, modes=modes,
+        invariants=not args.no_invariants, shrink=not args.no_shrink,
+        out_dir=args.out)
+    report = ConformanceRunner(config, perf=perf).run()
+    print(format_verify_report(report, modes))
+    if args.profile:
+        print()
+        print(perf.format_table("verify perf counters"))
+    return 0 if report.ok else 1
+
+
 def cmd_characterize(args: argparse.Namespace) -> int:
     tech = _tech(args.tech, characterized=True)
     print(table_summary(tech))
@@ -390,6 +429,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero when hazards are found")
     p.set_defaults(func=cmd_hazards)
+
+    p = sub.add_parser(
+        "verify",
+        help="cross-engine conformance: differential fuzzing over "
+             "generated netlists, metamorphic invariants, failure "
+             "shrinking")
+    add_common(p, netlist=False)
+    p.add_argument("--seed", type=int, default=0,
+                   help="case-stream seed (default 0)")
+    p.add_argument("--cases", type=int, default=20, metavar="N",
+                   help="generated conformance cases (default 20)")
+    p.add_argument("--modes", metavar="M1,M2,…",
+                   help="engine modes to cross-check (default: all); see "
+                        "DESIGN.md §6 for the matrix")
+    p.add_argument("--max-size", type=int, default=24, metavar="N",
+                   help="max transistors per generated case (default 24)")
+    p.add_argument("--vectors", type=int, default=4, metavar="N",
+                   help="input vectors per case (default 4)")
+    p.add_argument("--model", default="rc-tree", choices=sorted(MODELS),
+                   help="delay model under test (default rc-tree — the "
+                        "only model with distinct kernel backends)")
+    p.add_argument("--no-invariants", action="store_true",
+                   help="skip the metamorphic invariant checks")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without delta-debugging them")
+    p.add_argument("--out", metavar="DIR",
+                   help="write .sim/.vec/manifest reproducers for failing "
+                        "cases into DIR")
+    p.add_argument("--replay", metavar="MANIFEST.json",
+                   help="re-run a previously emitted reproducer instead "
+                        "of generating cases")
+    p.add_argument("--profile", action="store_true",
+                   help="print verify_* perf counters")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("characterize", help="fit and dump slope tables")
     add_common(p, netlist=False)

@@ -79,7 +79,13 @@ def load(path: str, tech: Technology) -> Network:
 def dumps(network: Network) -> str:
     """Serialize a network back to ``.sim`` text (lossless for the subset
     this module understands, except merged grounded capacitors which come
-    back as caps to gnd)."""
+    back as caps to gnd).
+
+    Values are written with 12 significant digits — enough that the
+    parse → dump → parse cycle reproduces geometries and element values
+    to better than 1e-9 relative, which keeps re-analyzed reproducer
+    netlists (:mod:`repro.verify`) on the same arrivals.
+    """
     scale = network.tech.lambda_units
     lines: List[str] = [f"| {network.summary()}"]
     inputs = [n.name for n in network.inputs()]
@@ -93,15 +99,17 @@ def dumps(network: Network) -> str:
         }[device.kind]
         lines.append(
             f"{letter} {device.gate} {device.source} {device.drain} "
-            f"{device.length / scale:g} {device.width / scale:g}"
+            f"{device.length / scale:.12g} {device.width / scale:.12g}"
         )
     for res in network.resistors:
-        lines.append(f"R {res.node_a} {res.node_b} {res.resistance:g}")
+        lines.append(f"R {res.node_a} {res.node_b} {res.resistance:.12g}")
     for cap in network.capacitors:
-        lines.append(f"C {cap.node_a} {cap.node_b} {cap.capacitance / 1e-15:g}")
+        lines.append(
+            f"C {cap.node_a} {cap.node_b} {cap.capacitance / 1e-15:.12g}")
     for node in network.signal_nodes:
         if node.capacitance > 0:
-            lines.append(f"C {node.name} gnd {node.capacitance / 1e-15:g}")
+            lines.append(
+                f"C {node.name} gnd {node.capacitance / 1e-15:.12g}")
     return "\n".join(lines) + "\n"
 
 

@@ -48,6 +48,14 @@ STANDARD_COUNTERS: Dict[str, str] = {
     "cone_stages": "stages inside delta dirty cones (re-evaluated)",
     "stages_skipped": "stages outside delta dirty cones (arrivals kept)",
     "arrivals_reused": "committed arrivals carried over by delta scenarios",
+    "verify_cases": "conformance cases generated and analyzed",
+    "verify_mode_runs": "engine-mode sweep executions across all cases",
+    "verify_comparisons": "mode-pair result comparisons performed",
+    "verify_discrepancies": "cross-mode discrepancies detected",
+    "verify_invariant_checks": "metamorphic invariant checks evaluated",
+    "verify_invariant_failures": "metamorphic invariant violations",
+    "verify_shrink_attempts": "shrinker candidate reductions tried",
+    "verify_shrink_removed": "elements/vectors removed by the shrinker",
 }
 
 

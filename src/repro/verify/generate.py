@@ -1,0 +1,212 @@
+"""Seeded generation of random-but-valid conformance cases.
+
+A *case* is one switch-level netlist plus a batch of labeled input
+vectors — the unit the :class:`~repro.verify.runner.ConformanceRunner`
+pushes through every engine mode.  Cases are drawn from the circuit
+families of :mod:`repro.circuits.generators` (random gate DAGs, inverter
+chains, pass chains, mux trees, bridged DAGs, two-phase clocked shift
+registers), size-parameterized and fully determined by ``(seed, index)``:
+the same pair always regenerates the same netlist and vectors, on any
+platform, because every draw goes through a private ``random.Random``
+over integer grids.
+
+Validity invariants every generated case honours:
+
+* the stage graph is feed-forward (a bridge that would close a cycle is
+  dropped), so the analyzer never hits its iteration cap;
+* every primary input has a spec in every vector, and at least one input
+  transitions (so each vector produces arrivals);
+* all times sit on a 1 ps grid and capacitances on a 1 fF grid — exact
+  under the ``.sim``/``.vec`` round trip the shrinker's reproducer
+  artifacts depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..batch.vectors import Vector
+from ..circuits import (inverter_chain, mux_tree, pass_chain,
+                        random_logic_dag, shift_register)
+from ..core.timing import InputSpec
+from ..core.timing.clocking import ClockSchedule, clock_input_spec
+from ..core.timing.stage_graph import StageGraph
+from ..netlist import Network
+from ..tech import DeviceKind, Technology
+
+__all__ = ["FAMILIES", "ConformanceCase", "generate_case"]
+
+#: Circuit families the generator draws from, in draw order.
+FAMILIES = ("dag", "chain", "passchain", "mux", "bridge", "clocked")
+
+#: Arrival-time grid (1 ps) and window (0..1 ns) for generated vectors.
+_TIME_GRID = 1e-12
+_TIME_STEPS = 1000
+#: Input transition times drawn per spec (0 = ideal step, twice-weighted).
+_SLOPES = (0.0, 0.0, 0.2e-9, 0.5e-9)
+
+
+@dataclass
+class ConformanceCase:
+    """One generated netlist + vector batch (plus clocking, if any)."""
+
+    name: str
+    seed: int
+    family: str
+    network: Network
+    vectors: List[Vector]
+    #: clock input node -> phase name of :attr:`schedule` (clocked cases)
+    clocks: Dict[str, str] = field(default_factory=dict)
+    schedule: Optional[ClockSchedule] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.network.transistors)
+
+    def with_parts(self, network: Optional[Network] = None,
+                   vectors: Optional[List[Vector]] = None
+                   ) -> "ConformanceCase":
+        """A copy with the network and/or vectors swapped (the shrinker's
+        candidate constructor); clocks are pruned to surviving nodes."""
+        case = replace(self,
+                       network=self.network if network is None else network,
+                       vectors=self.vectors if vectors is None else vectors)
+        if network is not None and case.clocks:
+            case.clocks = {node: phase for node, phase in case.clocks.items()
+                           if network.has_node(node)}
+        return case
+
+
+def _case_rng(seed: int, index: int) -> random.Random:
+    # Mix with distinct large odd constants so case streams for nearby
+    # seeds do not overlap.
+    return random.Random((seed * 1_000_003 + index) * 2_654_435_761 + index)
+
+
+def _grid_time(rng: random.Random) -> float:
+    return rng.randint(0, _TIME_STEPS) * _TIME_GRID
+
+
+def _input_spec(rng: random.Random, force_transition: bool) -> InputSpec:
+    """One randomized spec: usually both edges, sometimes one-sided, and
+    (for side inputs only) occasionally static."""
+    style = rng.random()
+    time = _grid_time(rng)
+    slope = rng.choice(_SLOPES)
+    if not force_transition and style < 0.10:
+        return InputSpec(arrival_rise=None, arrival_fall=None)
+    if style < 0.20:
+        return InputSpec(arrival_rise=time, arrival_fall=None, slope=slope)
+    if style < 0.30:
+        return InputSpec(arrival_rise=None, arrival_fall=time, slope=slope)
+    return InputSpec(arrival_rise=time, arrival_fall=time, slope=slope)
+
+
+def _random_vectors(rng: random.Random, input_names: List[str], count: int,
+                    pinned: Optional[Dict[str, InputSpec]] = None
+                    ) -> List[Vector]:
+    """*count* labeled vectors over *input_names*; *pinned* specs (the
+    clock phases) are copied into every vector unchanged."""
+    pinned = pinned or {}
+    vectors = []
+    for position in range(count):
+        inputs: Dict[str, InputSpec] = {}
+        forced = False
+        for name in input_names:
+            if name in pinned:
+                inputs[name] = pinned[name]
+                continue
+            inputs[name] = _input_spec(rng, force_transition=not forced)
+            forced = True
+        vectors.append(Vector(label=f"v{position}", inputs=inputs))
+    return vectors
+
+
+def _build_dag(rng: random.Random, tech: Technology, max_size: int,
+               index: int) -> Network:
+    gates = rng.randint(2, max(3, max_size // 4))
+    return random_logic_dag(tech, seed=rng.randrange(2 ** 31), gates=gates,
+                            inputs=rng.randint(2, 4),
+                            name=f"case{index}-dag")
+
+
+def _build_bridge(rng: random.Random, tech: Technology, max_size: int,
+                  index: int) -> Network:
+    """A random DAG with one extra pass device bridging two gate outputs
+    (gated by a fresh input ``br``).  If the bridge would close a stage
+    cycle, it is left off — the case degrades to a plain DAG."""
+    net = _build_dag(rng, tech, max_size, index)
+    outputs = [n.name for n in net.signal_nodes
+               if n.name.startswith("g") and n.name[1:].isdigit()]
+    if len(outputs) >= 2:
+        a, b = rng.sample(sorted(outputs), 2)
+        trial = Network(tech, name=net.name)
+        trial.merge_from(net)
+        # Explicit name: merge_from keeps source names but not the fresh-
+        # name counter, so letting add_transistor autoname would collide.
+        trial.add_transistor(DeviceKind.NMOS_ENH, "br", a, b, name="mbridge")
+        trial.mark_input("br")
+        if not StageGraph.build(trial).has_feedback():
+            return trial
+    return net
+
+
+def _build_clocked(rng: random.Random, tech: Technology, max_size: int,
+                   index: int):
+    """Two-phase shift register + its clock schedule.  Returns
+    ``(network, clocks, schedule)``."""
+    stages = rng.randint(1, max(1, max_size // 6))
+    net = shift_register(tech, stages=stages, name=f"case{index}-shiftreg")
+    period = rng.choice((2e-9, 3e-9, 4e-9))
+    schedule = ClockSchedule.two_phase(period, separation=0.1e-9,
+                                       clock_slope=0.1e-9)
+    return net, {"phi1": "phi1", "phi2": "phi2"}, schedule
+
+
+def generate_case(tech: Technology, seed: int, index: int,
+                  max_size: int = 24,
+                  vectors_per_case: int = 4) -> ConformanceCase:
+    """Deterministically build case *index* of the *seed* stream.
+
+    *max_size* caps the transistor count (family parameters are drawn so
+    the cap holds); *vectors_per_case* sets the vector batch size.
+    """
+    rng = _case_rng(seed, index)
+    family = FAMILIES[rng.randrange(len(FAMILIES))]
+    clocks: Dict[str, str] = {}
+    schedule: Optional[ClockSchedule] = None
+    pinned: Optional[Dict[str, InputSpec]] = None
+
+    if family == "dag":
+        net = _build_dag(rng, tech, max_size, index)
+    elif family == "chain":
+        net = inverter_chain(tech, stages=rng.randint(1, max(1, max_size // 3)),
+                             fanout=rng.randint(1, 2),
+                             load_cap=rng.randint(0, 60) * 1e-15,
+                             name=f"case{index}-chain")
+    elif family == "passchain":
+        net = pass_chain(tech, length=rng.randint(1, 5),
+                         load_cap=rng.randint(5, 40) * 1e-15,
+                         name=f"case{index}-passchain")
+    elif family == "mux":
+        net = mux_tree(tech, select_bits=rng.randint(1, 2),
+                       load_cap=rng.randint(10, 50) * 1e-15,
+                       name=f"case{index}-mux")
+    elif family == "bridge":
+        net = _build_bridge(rng, tech, max_size, index)
+    else:  # clocked
+        net, clocks, schedule = _build_clocked(rng, tech, max_size, index)
+        pinned = {
+            node: clock_input_spec(schedule.phase(phase),
+                                   schedule.clock_slope)
+            for node, phase in clocks.items()
+        }
+
+    input_names = sorted(n.name for n in net.inputs())
+    vectors = _random_vectors(rng, input_names, vectors_per_case,
+                              pinned=pinned)
+    return ConformanceCase(name=f"case{index:04d}-{family}", seed=seed,
+                           family=family, network=net, vectors=vectors,
+                           clocks=clocks, schedule=schedule)

@@ -1,0 +1,144 @@
+"""Greedy delta-debugging of a failing conformance case.
+
+Given a case and a ``still_fails`` predicate (supplied by the runner —
+it re-runs only the implicated engine modes), the shrinker repeatedly
+tries to delete one vector / transistor / resistor / capacitor at a
+time, keeping each deletion whose candidate still reproduces the
+discrepancy, and loops over the passes until a whole round removes
+nothing.  Candidates that no longer analyze at all (the deletion
+orphaned a driven node, emptied a vector, …) raise
+:class:`~repro.errors.ReproError` inside the predicate, count as *not*
+failing, and are simply skipped — greedy one-at-a-time deletion plus a
+round loop is the classic ddmin simplification and converges to a
+1-minimal reproducer in O(rounds × elements) engine runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..batch.vectors import Vector
+from ..netlist import Network, NodeRole
+from ..perf import PerfCounters
+from .generate import ConformanceCase
+
+__all__ = ["subset_network", "shrink_case"]
+
+#: Round cap — each round is a full vector/device/element sweep, and a
+#: round that removes nothing terminates early, so this only guards
+#: against pathological oscillation.
+_MAX_ROUNDS = 8
+
+
+def subset_network(network: Network, keep_transistors: Sequence[str],
+                   keep_resistors: Sequence[str] = (),
+                   keep_capacitors: Sequence[str] = ()) -> Network:
+    """A copy of *network* containing only the named elements (plus the
+    nodes they reference, with their original roles and grounded caps)."""
+    keep_t, keep_r, keep_c = (set(keep_transistors), set(keep_resistors),
+                              set(keep_capacitors))
+    sub = Network(network.tech, name=network.name)
+    for device in network.transistors:
+        if device.name in keep_t:
+            sub.add_transistor(device.kind, device.gate, device.source,
+                               device.drain, width=device.width,
+                               length=device.length, name=device.name)
+    for element in network.resistors:
+        if element.name in keep_r:
+            sub.add_resistor(element.node_a, element.node_b,
+                             element.resistance, name=element.name)
+    for element in network.capacitors:
+        if element.name in keep_c:
+            sub.add_capacitor(element.node_a, element.node_b,
+                              element.capacitance, name=element.name)
+    for node in network.signal_nodes:
+        if not sub.has_node(node.name):
+            continue
+        if node.capacitance:
+            sub.add_node(node.name, capacitance=node.capacitance)
+        if node.role is NodeRole.INPUT:
+            sub.mark_input(node.name)
+    return sub
+
+
+def _filter_vectors(network: Network, vectors: Sequence[Vector]
+                    ) -> List[Vector]:
+    """Drop specs for inputs that no longer exist in *network* (and
+    vectors left with no inputs at all)."""
+    input_names = {node.name for node in network.inputs()}
+    kept = []
+    for vector in vectors:
+        inputs = {name: spec for name, spec in vector.inputs.items()
+                  if name in input_names}
+        if inputs:
+            kept.append(Vector(label=vector.label, inputs=inputs))
+    return kept
+
+
+def _rebuild(case: ConformanceCase, keep_t: List[str], keep_r: List[str],
+             keep_c: List[str], vectors: List[Vector]) -> ConformanceCase:
+    network = subset_network(case.network, keep_t, keep_r, keep_c)
+    return case.with_parts(network=network,
+                           vectors=_filter_vectors(network, vectors))
+
+
+def shrink_case(case: ConformanceCase,
+                still_fails: Callable[[ConformanceCase], bool],
+                perf: PerfCounters,
+                max_rounds: int = _MAX_ROUNDS) -> ConformanceCase:
+    """Greedily minimize *case* while ``still_fails(candidate)`` holds.
+
+    The input case is assumed failing; the returned case is guaranteed
+    failing (it is either the input or the last accepted candidate).
+    """
+    keep_t = [d.name for d in case.network.transistors]
+    keep_r = [e.name for e in case.network.resistors]
+    keep_c = [e.name for e in case.network.capacitors]
+    vectors = list(case.vectors)
+    current = case
+
+    def attempt(candidate: ConformanceCase) -> bool:
+        perf.incr("verify_shrink_attempts")
+        if still_fails(candidate):
+            perf.incr("verify_shrink_removed")
+            return True
+        return False
+
+    for _ in range(max_rounds):
+        removed_any = False
+
+        # Vectors first — each dropped vector removes a whole sweep
+        # scenario from every later engine run, so device passes get
+        # cheaper the earlier this succeeds.  Always keep at least one.
+        for vector in list(vectors):
+            if len(vectors) <= 1:
+                break
+            trial = [v for v in vectors if v is not vector]
+            candidate = _rebuild(current, keep_t, keep_r, keep_c, trial)
+            if candidate.vectors and attempt(candidate):
+                vectors = trial
+                current = candidate
+                removed_any = True
+
+        # Then devices and passive elements, one at a time.
+        for pool in (keep_t, keep_r, keep_c):
+            for name in list(pool):
+                if pool is keep_t and len(keep_t) <= 1 \
+                        and not keep_r and not keep_c:
+                    break
+                trial = [n for n in pool if n != name]
+                kept = {id(keep_t): keep_t, id(keep_r): keep_r,
+                        id(keep_c): keep_c}
+                kept[id(pool)] = trial
+                candidate = _rebuild(current, kept[id(keep_t)],
+                                     kept[id(keep_r)], kept[id(keep_c)],
+                                     vectors)
+                if candidate.vectors and attempt(candidate):
+                    pool[:] = trial
+                    vectors = list(candidate.vectors)
+                    current = candidate
+                    removed_any = True
+
+        if not removed_any:
+            break
+    return current

@@ -68,6 +68,48 @@ class TestVectorParsing:
         with pytest.raises(SweepError):
             parse_vector_line("@only-label", 0)
 
+    def test_token_two_edge_form(self):
+        _, spec = parse_timing_token("a=100p~300p")
+        assert spec.arrival_rise == pytest.approx(100e-12)
+        assert spec.arrival_fall == pytest.approx(300e-12)
+        _, rise_only = parse_timing_token("a=100p~-")
+        assert rise_only.arrival_rise == pytest.approx(100e-12)
+        assert rise_only.arrival_fall is None
+        _, fall_only = parse_timing_token("a=-~300p")
+        assert fall_only.arrival_rise is None
+        assert fall_only.arrival_fall == pytest.approx(300e-12)
+
+    def test_token_slope_suffix(self):
+        _, spec = parse_timing_token("a=2n/200p")
+        assert spec.arrival_rise == pytest.approx(2e-9)
+        assert spec.slope == pytest.approx(200e-12)
+        _, two_edge = parse_timing_token("a=0~1n/0.5n")
+        assert two_edge.slope == pytest.approx(0.5e-9)
+        with pytest.raises(SweepError, match="slope"):
+            parse_timing_token("a=-/200p")
+        with pytest.raises(SweepError, match="bad slope"):
+            parse_timing_token("a=1n/wat")
+
+    def test_format_token_round_trips(self):
+        from repro.batch import format_timing_token
+        specs = [
+            InputSpec(arrival_rise=1.3e-10, arrival_fall=1.3e-10,
+                      slope=2e-10),
+            InputSpec(arrival_rise=1e-10, arrival_fall=7.05e-10),
+            InputSpec(arrival_rise=2.5e-10, arrival_fall=None,
+                      slope=5e-10),
+            InputSpec(arrival_rise=None, arrival_fall=3e-10),
+            InputSpec(arrival_rise=None, arrival_fall=None),
+        ]
+        for spec in specs:
+            name, parsed = parse_timing_token(
+                format_timing_token("n1", spec))
+            assert name == "n1"
+            # repr-based formatting makes the round trip bit-exact
+            assert parsed.arrival_rise == spec.arrival_rise
+            assert parsed.arrival_fall == spec.arrival_fall
+            assert parsed.slope == spec.slope
+
 
 class TestVectorFile:
     def test_load_and_labels(self, tmp_path):
@@ -95,6 +137,53 @@ class TestVectorFile:
         path.write_text("@x a=0\n@x a=1n\n")
         with pytest.raises(SweepError):
             load_vector_file(str(path))
+
+    def test_duplicate_labels_name_both_indices(self, tmp_path):
+        """ISSUE 8 S2: the error must say which two vectors collide —
+        index and line of both sides, not just the label."""
+        path = tmp_path / "vecs.txt"
+        path.write_text("# header\n"
+                        "@a x=0\n"
+                        "@dup x=1n\n"
+                        "@b x=0\n"
+                        "@dup x=2n\n")
+        with pytest.raises(SweepError) as excinfo:
+            load_vector_file(str(path))
+        message = str(excinfo.value)
+        assert "duplicate vector label 'dup'" in message
+        # colliding vector indices (0-based): vector 3 vs vector 1
+        assert "vector 3" in message and "vector 1" in message
+        # and the file lines of both occurrences
+        assert "line 5" in message and "line 3" in message
+        assert excinfo.value.line == 5
+
+    def test_dump_vector_file_round_trips(self, tmp_path):
+        from repro.batch import dump_vector_file
+        vectors = [
+            Vector(label="first",
+                   inputs={"a": InputSpec(arrival_rise=1.3e-10,
+                                          arrival_fall=4.7e-10,
+                                          slope=2e-10),
+                           "b": InputSpec(arrival_rise=None,
+                                          arrival_fall=None)}),
+            Vector(label="second",
+                   inputs={"a": InputSpec(arrival_rise=0.0,
+                                          arrival_fall=0.0),
+                           "b": InputSpec(arrival_rise=None,
+                                          arrival_fall=9e-10,
+                                          slope=1e-10)}),
+        ]
+        path = tmp_path / "out.vec"
+        dump_vector_file(vectors, str(path), header="round trip")
+        loaded = list(load_vector_file(str(path)))
+        assert [v.label for v in loaded] == ["first", "second"]
+        for original, parsed in zip(vectors, loaded):
+            assert set(parsed.inputs) == set(original.inputs)
+            for name, spec in original.inputs.items():
+                other = parsed.inputs[name]
+                assert other.arrival_rise == spec.arrival_rise, name
+                assert other.arrival_fall == spec.arrival_fall, name
+                assert other.slope == spec.slope, name
 
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "vecs.txt"

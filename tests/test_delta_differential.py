@@ -9,13 +9,18 @@ template-export round trip the worker boundary depends on.
 """
 
 import pickle
+import random
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.batch import VECTOR_ORDERS, ExplicitVectors, RandomVectors, run_sweep
+from repro.batch.vectors import Vector
+from repro.circuits import shift_register
 from repro.core.timing import InputSpec, TimingAnalyzer
+from repro.core.timing.clocking import (ClockSchedule, clock_input_spec,
+                                        setup_checks)
 from repro.parallel import AnalyzerSpec
 from repro.tech import CMOS3
 
@@ -111,6 +116,50 @@ class TestDeltaEqualsFull:
         full = TimingAnalyzer(net, kernel="python").analyze_many(vectors)
         for index in range(len(vectors)):
             assert_identical(delta[index], full[index], index)
+
+
+class TestClockedGreedySharded:
+    """The previously uncovered combination: a clocked circuit swept with
+    dirty-cone delta, greedy vector ordering, AND scenario sharding at
+    once (ISSUE 8 S1).  Arrivals and the setup-check reports must both be
+    bit-identical to the plain serial sweep."""
+
+    @staticmethod
+    def _clocked_sweep_inputs(stages, seed):
+        net = shift_register(CMOS3, stages=stages)
+        schedule = ClockSchedule.two_phase(2e-9, separation=0.1e-9,
+                                           clock_slope=0.1e-9)
+        pinned = {name: clock_input_spec(schedule.phase(name),
+                                         schedule.clock_slope)
+                  for name in ("phi1", "phi2")}
+        rng = random.Random(seed)
+        vectors = []
+        for index in range(4):
+            time = rng.randint(0, 10) * _TIME_STEP
+            din = InputSpec(arrival_rise=time, arrival_fall=time,
+                            slope=_SLOPES[rng.randrange(len(_SLOPES))])
+            vectors.append(Vector(label=f"v{index}",
+                                  inputs={"din": din, **pinned}))
+        return net, schedule, vectors
+
+    @settings(max_examples=4, deadline=None)
+    @given(stages=st.integers(1, 4), seed=st.integers(0, 10 ** 6))
+    def test_clocked_delta_greedy_sharded_equals_plain(self, stages, seed):
+        net, schedule, vectors = self._clocked_sweep_inputs(stages, seed)
+        clocks = {"phi1": "phi1", "phi2": "phi2"}
+        plain = run_sweep(net, ExplicitVectors(vectors))
+        fancy = run_sweep(net, ExplicitVectors(vectors), delta=True,
+                          order="greedy", jobs=2)
+        assert ([o.label for o in fancy.outcomes]
+                == [o.label for o in plain.outcomes])
+        for expected, outcome in zip(plain.outcomes, fancy.outcomes):
+            assert_identical(outcome.result, expected.result,
+                             ("clocked-greedy-sharded", outcome.label))
+            want = [str(c) for c in setup_checks(net, expected.result,
+                                                 clocks, schedule)]
+            got = [str(c) for c in setup_checks(net, outcome.result,
+                                                clocks, schedule)]
+            assert got == want, (outcome.label, got, want)
 
 
 class TestTemplateRoundTrip:

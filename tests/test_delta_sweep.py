@@ -166,6 +166,39 @@ class TestAnalyzeDelta:
         assert_identical(analyzer.analyze_delta(inputs),
                          TimingAnalyzer(net).analyze(inputs))
 
+    def test_invalidation_racing_carryover_sequence(self, rca4,
+                                                    rca4_vectors):
+        """ISSUE 8 S3: invalidate_caches() interleaved at every position
+        of a delta chain — each post-invalidation call must be a clean
+        cold rebuild (delta_scenarios == 0, real stage visits), each
+        other call a real delta, and every result must match a fresh
+        analyzer.  Wrong numbers here would mean stale carryover
+        survived the invalidation."""
+        for break_at in range(len(rca4_vectors)):
+            analyzer = TimingAnalyzer(rca4)
+            for index, vector in enumerate(rca4_vectors):
+                if index == break_at:
+                    device = rca4.transistors[index % len(rca4.transistors)]
+                    rca4.resize_transistor(device.name,
+                                           width=device.width * 2.0)
+                    analyzer.invalidate_caches()
+                result = analyzer.analyze_delta(vector.inputs)
+                cold = index == 0 or index == break_at
+                assert (result.perf.get("delta_scenarios") == 0) == cold, (
+                    break_at, index)
+                assert result.perf.get("stage_visits") > 0
+                assert_identical(result, TimingAnalyzer(rca4).analyze(
+                    vector.inputs), ("race", break_at, index))
+                if index == break_at:
+                    # undo the edit so later break positions start equal
+                    # power-of-two factor: the undo is bit-exact, so
+                    # the module-scoped fixture is restored unchanged
+                    rca4.resize_transistor(device.name,
+                                           width=device.width / 2.0)
+                    analyzer.invalidate_caches()
+                    result = analyzer.analyze_delta(vector.inputs)
+                    assert result.perf.get("delta_scenarios") == 0
+
 
 class TestOrderings:
     def _binary_axes(self, names):

@@ -118,6 +118,51 @@ class TestRobustness:
             run_sweep(net, bad, jobs=2)
 
 
+class TestDeltaCrashPaths:
+    """Crash paths specific to delta + sharded sweeps (ISSUE 8 S3): a
+    worker dying mid-chunk loses its in-flight *carryover* state, so the
+    retry/fallback path must rebuild from cold — never splice a half-warm
+    delta chain into wrong numbers."""
+
+    def test_worker_death_mid_delta_chunk_recovers(
+            self, net, tmp_path, monkeypatch):
+        serial = run_sweep(net, source(), delta=True, order="greedy")
+        crash = tmp_path / "crash-now"
+        crash.write_text("")
+        monkeypatch.setenv(CRASH_FILE_ENV, str(crash))
+        sweep = run_sweep(net, source(), delta=True, order="greedy",
+                          jobs=2)
+        assert format_sweep_summary(sweep) == format_sweep_summary(serial)
+        pp = sweep.parallel
+        assert pp.fell_back, "mid-chunk death left no trace"
+        assert pp.retries >= 1
+        assert any("died" in event for event in pp.fallback_events)
+        assert not crash.exists(), "the crashing worker removes the file"
+
+    def test_delta_chunk_hang_falls_back_to_serial(
+            self, net, tmp_path, monkeypatch):
+        serial = run_sweep(net, source(), delta=True)
+        hang = tmp_path / "hang-now"
+        hang.write_text("5.0")
+        monkeypatch.setenv(HANG_FILE_ENV, str(hang))
+        config = ParallelConfig(chunk_timeout=0.25, max_retries=0)
+        sweep = run_sweep(net, source(), delta=True, jobs=2,
+                          parallel_config=config)
+        monkeypatch.delenv(HANG_FILE_ENV)
+        assert format_sweep_summary(sweep) == format_sweep_summary(serial)
+        assert sweep.parallel.fell_back
+        assert sweep.parallel.serial_chunks > 0
+
+    def test_analysis_error_in_delta_sweep_is_clean(self, net):
+        # The empty vector is a genuine error; with delta+jobs it must
+        # surface as the same SweepError, not a fallback to wrong data.
+        good = {n: 0.0 for n in adder_input_names(BITS)}
+        bad = ExplicitVectors([Vector(label="ok", inputs=good),
+                               Vector(label="empty", inputs={})])
+        with pytest.raises(SweepError, match="empty"):
+            run_sweep(net, bad, jobs=2, delta=True)
+
+
 class TestVectorValidation:
     def test_unknown_node_raises_sweep_error(self, net):
         vectors = ExplicitVectors([

@@ -1,0 +1,169 @@
+"""The greedy delta-debugging shrinker in isolation (ISSUE 8).
+
+Synthetic predicates (no engine in the loop) pin down the mechanics:
+1-minimality against a known culprit set, vector reduction, validity
+filtering (a candidate that stops analyzing must be rejected, not
+accepted), and ``subset_network``'s preservation of roles and caps.
+"""
+
+import pytest
+
+from repro.batch.vectors import Vector
+from repro.circuits import inverter_chain, random_logic_dag
+from repro.core.timing import InputSpec
+from repro.netlist import NodeRole
+from repro.perf import PerfCounters
+from repro.tech import CMOS3
+from repro.verify import ConformanceCase, generate_case, shrink_case, subset_network
+
+
+def _case_from(net, vector_count=3):
+    inputs = sorted(n.name for n in net.inputs())
+    vectors = [
+        Vector(label=f"v{i}",
+               inputs={name: InputSpec(arrival_rise=i * 1e-10,
+                                       arrival_fall=i * 1e-10)
+                       for name in inputs})
+        for i in range(vector_count)]
+    return ConformanceCase(name="synthetic", seed=0, family="dag",
+                           network=net, vectors=vectors)
+
+
+class TestSubsetNetwork:
+    def test_keeps_roles_and_caps(self):
+        net = random_logic_dag(CMOS3, seed=3, gates=6, inputs=3)
+        names = [d.name for d in net.transistors]
+        sub = subset_network(net, names)
+        assert {d.name for d in sub.transistors} == set(names)
+        for node in net.signal_nodes:
+            if not sub.has_node(node.name):
+                continue
+            other = sub.node(node.name)
+            assert other.role is node.role, node.name
+            assert other.capacitance == node.capacitance, node.name
+
+    def test_drops_orphaned_nodes(self):
+        net = inverter_chain(CMOS3, stages=3)
+        # keep only the first inverter's devices
+        first = [d for d in net.transistors if d.gate == "in"]
+        sub = subset_network(net, [d.name for d in first])
+        assert sub.has_node("in")
+        assert len(sub.transistors) == len(first)
+        assert len(sub.signal_nodes) < len(net.signal_nodes)
+
+    def test_keeps_passives_selectively(self):
+        net = inverter_chain(CMOS3, stages=1)
+        net.add_capacitor("out", "in", 5e-15, name="cf")
+        net.add_resistor("out", "mid", 100.0, name="rr")
+        all_t = [d.name for d in net.transistors]
+        sub = subset_network(net, all_t, keep_resistors=["rr"])
+        assert [r.name for r in sub.resistors] == ["rr"]
+        assert not sub.capacitors
+        sub = subset_network(net, all_t, keep_capacitors=["cf"])
+        assert [c.name for c in sub.capacitors] == ["cf"]
+        assert not sub.resistors
+
+
+class TestShrinkCase:
+    def test_shrinks_to_culprit_device(self):
+        net = random_logic_dag(CMOS3, seed=9, gates=8, inputs=3)
+        case = _case_from(net)
+        culprit = net.transistors[len(net.transistors) // 2].name
+
+        def still_fails(candidate):
+            return any(d.name == culprit
+                       for d in candidate.network.transistors)
+
+        perf = PerfCounters()
+        shrunk = shrink_case(case, still_fails, perf)
+        assert [d.name for d in shrunk.network.transistors] == [culprit]
+        assert len(shrunk.vectors) == 1
+        assert perf.get("verify_shrink_attempts") > 0
+        assert perf.get("verify_shrink_removed") > 0
+
+    def test_shrinks_to_culprit_pair(self):
+        net = random_logic_dag(CMOS3, seed=4, gates=6, inputs=2)
+        devices = [d.name for d in net.transistors]
+        culprits = {devices[0], devices[-1]}
+
+        def still_fails(candidate):
+            names = {d.name for d in candidate.network.transistors}
+            return culprits <= names
+
+        shrunk = shrink_case(_case_from(net), still_fails, PerfCounters())
+        assert {d.name for d in shrunk.network.transistors} == culprits
+
+    def test_shrinks_to_culprit_vector(self):
+        net = inverter_chain(CMOS3, stages=2)
+        case = _case_from(net, vector_count=4)
+
+        def still_fails(candidate):
+            return any(v.label == "v2" for v in candidate.vectors)
+
+        shrunk = shrink_case(case, still_fails, PerfCounters())
+        assert [v.label for v in shrunk.vectors] == ["v2"]
+
+    def test_rejects_invalid_candidates(self):
+        """A predicate that raises (candidate no longer analyzes) must
+        count as not-failing: the element stays in."""
+        from repro.errors import ReproError
+
+        net = inverter_chain(CMOS3, stages=2)
+        case = _case_from(net)
+        required = {d.name for d in net.transistors}
+
+        calls = {"invalid": 0}
+
+        def still_fails(candidate):
+            names = {d.name for d in candidate.network.transistors}
+            if names != required:
+                calls["invalid"] += 1
+                raise ReproError("candidate does not analyze")
+            return True
+
+        def guarded(candidate):
+            try:
+                return still_fails(candidate)
+            except ReproError:
+                return False
+
+        shrunk = shrink_case(case, guarded, PerfCounters())
+        assert {d.name for d in shrunk.network.transistors} == required
+        assert calls["invalid"] > 0
+
+    def test_never_empties_the_case(self):
+        net = inverter_chain(CMOS3, stages=1)
+        case = _case_from(net, vector_count=2)
+        shrunk = shrink_case(case, lambda candidate: True, PerfCounters())
+        assert shrunk.vectors, "shrinker removed every vector"
+        assert (shrunk.network.transistors or shrunk.network.resistors
+                or shrunk.network.capacitors), "shrinker emptied the netlist"
+
+    def test_clock_pruning_via_with_parts(self):
+        case = None
+        for index in range(30):
+            candidate = generate_case(CMOS3, seed=0, index=index)
+            if candidate.family == "clocked":
+                case = candidate
+                break
+        assert case is not None
+        # drop every device: with_parts must prune the clock map to the
+        # nodes that survive
+        empty = subset_network(case.network, [])
+        pruned = case.with_parts(network=empty, vectors=[])
+        assert pruned.clocks == {}
+        assert pruned.schedule is case.schedule
+
+    def test_generated_case_input_filtering(self):
+        """Vectors of a shrunk generated case only reference surviving
+        inputs (the pruning path the engine-backed shrink relies on)."""
+        case = generate_case(CMOS3, seed=6, index=1)
+
+        def still_fails(candidate):
+            return bool(candidate.network.transistors) and bool(
+                candidate.vectors)
+
+        shrunk = shrink_case(case, still_fails, PerfCounters())
+        surviving = {n.name for n in shrunk.network.inputs()}
+        for vector in shrunk.vectors:
+            assert set(vector.inputs) <= surviving
