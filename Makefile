@@ -21,9 +21,15 @@
 #                   into BENCH_delta.json; enforces bit-identity, the
 #                   >=3x stage-visit gate, and the 25% counter /
 #                   2x wall regression gates
+#   make perf-trace the tracing-overhead bench: rca32 untraced vs traced
+#                   into BENCH_trace.json; enforces the <2% deterministic
+#                   disabled-overhead gate and records enabled overhead
 #   make verify-smoke   the conformance smoke gate: 20 fuzzed netlists x
 #                   the full engine-mode matrix at fixed seed 0 (plus
 #                   metamorphic invariants), must exit clean in <60s
+#   make trace-smoke    the observability smoke gate: a jobs=2 traced
+#                   sweep must emit a valid Chrome trace with nested
+#                   spans from >=2 worker processes
 #   make verify-deep    the deep conformance sweep: 200 cases per seed
 #                   over seeds 0-2; run before releases / after engine
 #                   changes, not in CI
@@ -38,10 +44,11 @@ PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
 BENCH_FILES := benchmarks/BENCH_timing.json benchmarks/BENCH_batch.json \
                benchmarks/BENCH_parallel.json benchmarks/BENCH_kernel.json \
-               benchmarks/BENCH_delta.json
+               benchmarks/BENCH_delta.json benchmarks/BENCH_trace.json
 
 .PHONY: test test-slow perf perf-parallel perf-kernel perf-delta \
-        verify-smoke verify-deep check check-fast bench bench-all goldens
+        perf-trace verify-smoke verify-deep trace-smoke check check-fast \
+        bench bench-all goldens
 
 test:
 	$(PYTEST) -x -q
@@ -63,6 +70,9 @@ perf-kernel:
 perf-delta:
 	$(PYTEST) benchmarks/bench_delta_sweep.py -q -s
 
+perf-trace:
+	$(PYTEST) benchmarks/bench_trace_overhead.py -q -s
+
 verify-smoke:
 	PYTHONPATH=$(PYTHONPATH) python -m repro.cli verify \
 	          --cases 20 --seed 0 --profile
@@ -73,11 +83,14 @@ verify-deep:
 	              --cases 200 --seed $$seed || exit 1; \
 	done
 
-check: test test-slow perf perf-parallel perf-kernel verify-smoke
+trace-smoke:
+	PYTHONPATH=$(PYTHONPATH) python -m repro.trace.smoke
+
+check: test test-slow perf perf-parallel perf-kernel verify-smoke trace-smoke
 
 # CI's gate: everything in `check` except the slow tier (analog golden
 # references are too heavy for shared runners).
-check-fast: test perf perf-parallel perf-kernel verify-smoke
+check-fast: test perf perf-parallel perf-kernel verify-smoke trace-smoke
 
 # Refresh every perf baseline and commit the result.  REPRO_BENCH_NO_FAIL
 # disables the wall-clock guards (new hardware re-records cleanly); the
@@ -88,7 +101,8 @@ bench-all:
 	          benchmarks/bench_batch_sweep.py \
 	          benchmarks/bench_parallel.py \
 	          benchmarks/bench_kernel.py \
-	          benchmarks/bench_delta_sweep.py -q -s
+	          benchmarks/bench_delta_sweep.py \
+	          benchmarks/bench_trace_overhead.py -q -s
 	git add $(BENCH_FILES)
 	git diff --cached --quiet -- $(BENCH_FILES) || \
 	          git commit -m "Refresh perf baselines" -- $(BENCH_FILES)

@@ -24,6 +24,7 @@ from ..core.timing.paths import StateMap
 from ..errors import ReproError, SweepError
 from ..netlist import Network
 from ..perf import BatchPerf, ParallelPerf, PerfCounters
+from ..trace.spans import span as _trace_span
 from .vectors import (ExplicitVectors, Vector, VectorSource, order_vectors,
                       pair_deltas)
 
@@ -205,15 +206,17 @@ def run_sweep(network: Network,
     sweep.order_stats = OrderStats(order=order, delta=delta,
                                    deltas=tuple(pair_deltas(ordered)))
 
-    if jobs > 1 and len(vectors) > 1:
-        results = _analyze_sharded(analyzer, ordered, permutation, jobs,
-                                   parallel_config, sweep, delta)
-    else:
-        raw = [vector.inputs for vector in ordered]
-        in_order = analyzer.analyze_many(raw, delta=delta)
-        results = [None] * len(vectors)
-        for position, result in zip(permutation, in_order):
-            results[position] = result
+    with _trace_span("sweep", vectors=len(vectors), jobs=jobs,
+                     delta=delta, order=order):
+        if jobs > 1 and len(vectors) > 1:
+            results = _analyze_sharded(analyzer, ordered, permutation, jobs,
+                                       parallel_config, sweep, delta)
+        else:
+            raw = [vector.inputs for vector in ordered]
+            in_order = analyzer.analyze_many(raw, delta=delta)
+            results = [None] * len(vectors)
+            for position, result in zip(permutation, in_order):
+                results[position] = result
     for vector, result in zip(vectors, results):
         worst_event, worst_arrival = result.worst(nodes=watch)
         sweep.outcomes.append(ScenarioOutcome(

@@ -433,3 +433,82 @@ def runtime_comparison(network: Network,
         simulator_seconds=simulator_seconds,
         perf=dict(last_perf) or None,
     )
+
+
+@dataclass
+class TraceOverheadRow:
+    """Cost of the tracing subsystem on one analysis workload.
+
+    Two numbers matter (DESIGN.md §7):
+
+    * ``disabled_overhead_est`` — the deterministic estimate of what the
+      *disabled* span sites cost the untraced run: the number of span
+      records an enabled run produces times the microbenchmarked
+      per-site disabled cost, over the untraced wall time.  This is what
+      the <2 % budget gates on — a wall-clock A/B at that scale would be
+      pure timing noise.
+    * ``enabled_overhead`` — the measured wall ratio of the traced run
+      over the untraced run, recorded for the record (not gated: tracing
+      is opt-in, so its cost only has to be acceptable, not invisible).
+    """
+
+    circuit: str
+    scenarios: int
+    off_seconds: float
+    on_seconds: float
+    #: span + instant records one traced run emits
+    span_records: int
+    #: microbenchmarked per-call cost of a disabled span site (seconds)
+    site_cost: float
+
+    @property
+    def disabled_overhead_est(self) -> Optional[float]:
+        if self.off_seconds <= 0:
+            return None
+        return self.span_records * self.site_cost / self.off_seconds
+
+    @property
+    def enabled_overhead(self) -> Optional[float]:
+        if self.off_seconds <= 0:
+            return None
+        return self.on_seconds / self.off_seconds - 1.0
+
+
+def trace_overhead_comparison(network: Network,
+                              vectors: Sequence[Mapping[str, object]],
+                              model: Optional[DelayModel] = None,
+                              kernel: str = "numpy") -> TraceOverheadRow:
+    """Measure one workload untraced, traced, and per-site.
+
+    Both runs use a fresh analyzer apiece over the same vectors, so the
+    only difference is whether a tracer is installed.  The untraced run
+    goes first (and its span count comes from the traced run), so the
+    estimate is conservative: cold-cache work lands on the untraced
+    side.
+    """
+    from ..trace import spans as trace_spans
+
+    assert trace_spans.current() is None, \
+        "trace_overhead_comparison needs tracing off at entry"
+
+    off_analyzer = TimingAnalyzer(network, model=model, kernel=kernel)
+    start = time.perf_counter()
+    off_analyzer.analyze_many(vectors)
+    off_seconds = time.perf_counter() - start
+
+    tracer = trace_spans.Tracer()
+    on_analyzer = TimingAnalyzer(network, model=model, kernel=kernel)
+    with trace_spans.activate(tracer):
+        start = time.perf_counter()
+        on_analyzer.analyze_many(vectors)
+        on_seconds = time.perf_counter() - start
+
+    site_cost = trace_spans.disabled_site_cost()
+    return TraceOverheadRow(
+        circuit=network.name,
+        scenarios=len(vectors),
+        off_seconds=off_seconds,
+        on_seconds=on_seconds,
+        span_records=len(tracer.records),
+        site_cost=site_cost,
+    )

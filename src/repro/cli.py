@@ -30,7 +30,10 @@ from ``--random N --seed S`` samples.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
+import pathlib
 import sys
 from typing import Dict, List, Optional
 
@@ -151,6 +154,32 @@ def _check_jobs(jobs: int) -> None:
         raise ReproError(f"--jobs must be at least 1, got {jobs}")
 
 
+@contextlib.contextmanager
+def _traced_run(args: argparse.Namespace):
+    """Install a run tracer when ``--trace``/``--trace-summary`` ask for
+    one, and flush it in the ``finally`` — an aborted run still writes
+    the partial trace collected up to the failure (DESIGN.md §7)."""
+    from .trace import spans as trace_spans
+    from .trace.export import format_trace_summary, write_chrome_trace
+
+    if not (args.trace or args.trace_summary):
+        yield None
+        return
+    tracer = trace_spans.Tracer()
+    trace_spans.install(tracer)
+    try:
+        yield tracer
+    finally:
+        trace_spans.uninstall()
+        if args.trace:
+            count = write_chrome_trace(tracer, args.trace,
+                                       parent_pid=os.getpid())
+            print(f"trace: {count} event(s) written to {args.trace}")
+        if args.trace_summary:
+            print(format_trace_summary(tracer.records))
+            print()
+
+
 def cmd_timing(args: argparse.Namespace) -> int:
     tech = _tech(args.tech, characterized=not args.no_characterize)
     network = _load(args.netlist, tech)
@@ -164,12 +193,23 @@ def cmd_timing(args: argparse.Namespace) -> int:
                               slope_quantum=args.slope_quantum,
                               kernel=args.kernel)
     _check_jobs(args.jobs)
-    if args.jobs > 1:
-        from .parallel import parallel_analyze
-        result = parallel_analyze(network, inputs, jobs=args.jobs,
-                                  analyzer=analyzer)
-    else:
-        result = analyzer.analyze(inputs)
+    result = None
+    try:
+        with _traced_run(args):
+            if args.jobs > 1:
+                from .parallel import parallel_analyze
+                result = parallel_analyze(network, inputs, jobs=args.jobs,
+                                          analyzer=analyzer)
+            else:
+                result = analyzer.analyze(inputs)
+    finally:
+        # An aborted analysis (timing loop, worker error) still merged
+        # its run counters into the analyzer's cumulative set — flush
+        # them so --profile shows how far the run got.
+        if args.profile and result is None:
+            print(analyzer.perf.format_table("analysis perf counters "
+                                             "(partial: run aborted)"))
+            print()
 
     if args.profile and result.perf is not None:
         print(result.perf.format_table("analysis perf counters"))
@@ -239,10 +279,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     slope = parse_value(args.slope) if args.slope else 0.0
     _check_jobs(args.jobs)
     source = _sweep_source(args, network, slope)
-    sweep = run_sweep(network, source, model=model,
-                      slope_quantum=args.slope_quantum, watch=args.watch,
-                      jobs=args.jobs, kernel=args.kernel,
-                      delta=args.delta, order=args.order)
+    analyzer = TimingAnalyzer(network, model=model,
+                              slope_quantum=args.slope_quantum,
+                              kernel=args.kernel)
+    sweep = None
+    try:
+        with _traced_run(args):
+            sweep = run_sweep(network, source, watch=args.watch,
+                              analyzer=analyzer, jobs=args.jobs,
+                              delta=args.delta, order=args.order)
+    finally:
+        # Scenarios analyzed before an abort already merged their run
+        # counters into the analyzer's cumulative set — flush them.
+        if args.profile and sweep is None:
+            print(analyzer.perf.format_table("sweep perf counters "
+                                             "(partial: run aborted)"))
+            print()
     if args.profile:
         print(format_sweep_profile(sweep))
         print()
@@ -268,36 +320,72 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     tech = _tech(args.tech, characterized=False)
     perf = PerfCounters()
+    completed = False
+    try:
+        with _traced_run(args):
+            if args.replay:
+                case, modes, model_name, manifest = load_reproducer(
+                    args.replay, tech)
+                findings = check_case(case, modes, model_name, perf)
+                expected = len(manifest.get("discrepancies", []))
+                print(f"replay {case.name}: {len(findings)} "
+                      f"discrepancy(ies) (manifest recorded {expected})")
+                for finding in findings:
+                    print(f"  {finding}")
+                completed = True
+                if args.profile:
+                    print()
+                    print(perf.format_table("verify perf counters"))
+                return 1 if findings else 0
 
-    if args.replay:
-        case, modes, model_name, manifest = load_reproducer(args.replay,
-                                                            tech)
-        findings = check_case(case, modes, model_name, perf)
-        expected = len(manifest.get("discrepancies", []))
-        print(f"replay {case.name}: {len(findings)} discrepancy(ies) "
-              f"(manifest recorded {expected})")
-        for finding in findings:
-            print(f"  {finding}")
-        if args.profile:
+            if args.cases < 1:
+                raise ReproError(
+                    f"--cases must be at least 1, got {args.cases}")
+            modes = parse_modes(args.modes)
+            config = ConformanceConfig(
+                tech=tech, tech_name=args.tech, model_name=args.model,
+                seed=args.seed, cases=args.cases, max_size=args.max_size,
+                vectors_per_case=args.vectors, modes=modes,
+                invariants=not args.no_invariants, shrink=not args.no_shrink,
+                out_dir=args.out)
+            report = ConformanceRunner(config, perf=perf).run()
+            print(format_verify_report(report, modes))
+            completed = True
+            if args.profile:
+                print()
+                print(perf.format_table("verify perf counters"))
+            return 0 if report.ok else 1
+    finally:
+        # Cases checked before an abort already counted — flush them.
+        if args.profile and not completed:
+            print(perf.format_table("verify perf counters "
+                                    "(partial: run aborted)"))
             print()
-            print(perf.format_table("verify perf counters"))
-        return 1 if findings else 0
 
-    if args.cases < 1:
-        raise ReproError(f"--cases must be at least 1, got {args.cases}")
-    modes = parse_modes(args.modes)
-    config = ConformanceConfig(
-        tech=tech, tech_name=args.tech, model_name=args.model,
-        seed=args.seed, cases=args.cases, max_size=args.max_size,
-        vectors_per_case=args.vectors, modes=modes,
-        invariants=not args.no_invariants, shrink=not args.no_shrink,
-        out_dir=args.out)
-    report = ConformanceRunner(config, perf=perf).run()
-    print(format_verify_report(report, modes))
-    if args.profile:
-        print()
-        print(perf.format_table("verify perf counters"))
-    return 0 if report.ok else 1
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .trace.trends import (HISTORY_FILE, TrendEntry, collect_metrics,
+                               format_trend_report, load_history,
+                               record_entry)
+
+    bench_dir = pathlib.Path(args.bench_dir)
+    metrics = collect_metrics(bench_dir)
+    if not metrics:
+        raise ReproError(f"no BENCH_*.json metrics under {bench_dir}")
+    history_path = (pathlib.Path(args.history) if args.history
+                    else bench_dir / HISTORY_FILE)
+    history = load_history(history_path)
+    previous = history[-1] if history else None
+    if args.no_record:
+        current = TrendEntry(
+            timestamp=_time.strftime("%Y-%m-%dT%H:%M:%S"),
+            metrics=metrics)
+    else:
+        current = record_entry(history_path, metrics)
+    print(format_trend_report(previous, current, show_all=args.all))
+    return 0
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
@@ -322,6 +410,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--tech", default="cmos3",
                        choices=sorted(TECHNOLOGIES),
                        help="technology (default: cmos3)")
+
+    def add_tracing(p):
+        p.add_argument("--trace", metavar="FILE",
+                       help="write a Chrome trace_event JSON of the run "
+                            "(open in chrome://tracing or "
+                            "ui.perfetto.dev); worker spans included")
+        p.add_argument("--trace-summary", action="store_true",
+                       help="print the flat per-span time table "
+                            "(count, total, self) after the run")
 
     p = sub.add_parser("validate", help="netlist sanity checks")
     add_common(p)
@@ -363,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="RC-tree delay kernel: vectorized tree templates "
                         "(numpy, default) or the scalar dict-tree "
                         "reference (python); results agree to 1e-9")
+    add_tracing(p)
     p.set_defaults(func=cmd_timing)
 
     p = sub.add_parser(
@@ -419,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(cartesian Gray code, minimal input deltas), or "
                         "greedy (nearest-neighbour Hamming); reports stay "
                         "in source order (default: given)")
+    add_tracing(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("hazards", help="charge-sharing hazard scan")
@@ -462,7 +561,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "of generating cases")
     p.add_argument("--profile", action="store_true",
                    help="print verify_* perf counters")
+    add_tracing(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "trend",
+        help="cross-run bench trend: deltas of every BENCH_*.json metric "
+             "vs the previous recorded snapshot")
+    p.add_argument("--bench-dir", default="benchmarks", metavar="DIR",
+                   help="directory holding BENCH_*.json baselines "
+                        "(default: benchmarks)")
+    p.add_argument("--history", metavar="FILE",
+                   help="history file (default: DIR/BENCH_history.jsonl)")
+    p.add_argument("--no-record", action="store_true",
+                   help="report without appending a snapshot to the "
+                        "history file")
+    p.add_argument("--all", action="store_true",
+                   help="list unchanged metrics too (default: fold "
+                        "changes under 0.5%% away)")
+    p.set_defaults(func=cmd_trend)
 
     p = sub.add_parser("characterize", help="fit and dump slope tables")
     add_common(p, netlist=False)

@@ -59,6 +59,12 @@ from ...perf import PerfCounters, StageCostModel
 from ...rctree import RCTree, TreeTemplate, kernel_available
 from ...switchlevel import Logic
 from ...tech import Transition
+from ...trace.spans import (
+    NULL_SCOPE,
+    current as _trace_current,
+    instant as _trace_instant,
+    span as _trace_span,
+)
 from ..models import DelayModel, SlopeModel, StageDelay
 from .paths import (
     SensitizedPath,
@@ -431,8 +437,14 @@ class TimingAnalyzer:
         perf = PerfCounters()
         self._run_perf = perf
         try:
-            with perf.timer("analyze"):
+            # The span shares the run's lifecycle with the perf counters:
+            # opened with them, closed (balanced) in this same scope even
+            # when the propagation raises.
+            with perf.timer("analyze"), \
+                    _trace_span("analyze", inputs=len(inputs)) as scope:
                 arrivals, ranks, normalized = self._propagate(inputs, perf)
+                scope.set(stage_visits=perf.get("stage_visits"),
+                          model_evals=perf.get("model_evals"))
         finally:
             self._run_perf = None
             self.perf.merge(perf)
@@ -471,9 +483,14 @@ class TimingAnalyzer:
         perf = PerfCounters()
         self._run_perf = perf
         try:
-            with perf.timer("analyze"):
+            with perf.timer("analyze"), \
+                    _trace_span("analyze_delta",
+                                inputs=len(inputs)) as scope:
                 arrivals, ranks, normalized = self._propagate_delta(inputs,
                                                                     perf)
+                scope.set(changed_inputs=perf.get("input_delta"),
+                          cone_stages=perf.get("cone_stages"),
+                          stages_skipped=perf.get("stages_skipped"))
         finally:
             self._run_perf = None
             self.perf.merge(perf)
@@ -566,9 +583,10 @@ class TimingAnalyzer:
         """
         results: List[TimingResult] = []
         with self.perf.timer("analyze_batch"):
-            for inputs in scenarios:
-                results.append(self.analyze_delta(inputs) if delta
-                               else self.analyze(inputs))
+            for position, inputs in enumerate(scenarios):
+                with _trace_span("scenario", index=position):
+                    results.append(self.analyze_delta(inputs) if delta
+                                   else self.analyze(inputs))
         self.perf.incr("batch_scenarios", len(results))
         return results
 
@@ -647,6 +665,7 @@ class TimingAnalyzer:
                 perf.incr("worklist_pushes")
 
         visits: Dict[int, int] = {}
+        tracer = _trace_current()
         while heap:
             level, time, index = heapq.heappop(heap)
             if scheduled.get(index) == (level, time):
@@ -666,14 +685,21 @@ class TimingAnalyzer:
                 nodes = ", ".join(sorted(stage.internal_nodes))
                 raise TimingError(f"timing loop through stage [{nodes}]")
             perf.incr("stage_visits")
-            if self.incremental and index in evaluated and events:
-                perf.incr("stage_incremental_evals")
-                changed = self._evaluate_incremental(stage, events, arrivals,
-                                                     ranks)
-            else:
-                evaluated.add(index)
-                perf.incr("stage_full_evals")
-                changed = self._evaluate_full(stage, arrivals, ranks)
+            incremental_visit = bool(self.incremental and index in evaluated
+                                     and events)
+            scope = (tracer.span("stage_eval", stage=index, level=level,
+                                 mode=("incremental" if incremental_visit
+                                       else "full"))
+                     if tracer is not None else NULL_SCOPE)
+            with scope:
+                if incremental_visit:
+                    perf.incr("stage_incremental_evals")
+                    changed = self._evaluate_incremental(stage, events,
+                                                         arrivals, ranks)
+                else:
+                    evaluated.add(index)
+                    perf.incr("stage_full_evals")
+                    changed = self._evaluate_full(stage, arrivals, ranks)
             for event in changed:
                 schedule(event, arrivals[event].time)
 
@@ -730,9 +756,10 @@ class TimingAnalyzer:
             rep, name_map, inverse, elements = self._rep_for(stage)
             if name_map is None:
                 self._count("path_enumerations")
-                paths = enumerate_paths(
-                    self.network, stage, node, transition, self.states,
-                    caches=self._caches_for(stage))
+                with _trace_span("path_enum", stage=stage.index, node=node):
+                    paths = enumerate_paths(
+                        self.network, stage, node, transition, self.states,
+                        caches=self._caches_for(stage))
             else:
                 rep_paths = self._stage_paths(rep, inverse[node], transition)
                 paths = translate_paths(rep_paths, name_map, elements,
@@ -765,20 +792,26 @@ class TimingAnalyzer:
         template = self._templates.get(key)
         if template is not None:
             self._count("tree_template_hits")
+            _trace_instant("template_hit", stage=stage.index,
+                           target=path.target)
             return template
         rep, name_map, inverse, elements = self._rep_for(stage)
         if name_map is None:
             self._count("tree_template_misses")
-            template = compile_template(
-                self.network, stage, path, states=self.states,
-                caches=self._caches_for(stage),
-                cap_cache=self._node_caps)
+            with _trace_span("template_compile", stage=stage.index,
+                             target=path.target):
+                template = compile_template(
+                    self.network, stage, path, states=self.states,
+                    caches=self._caches_for(stage),
+                    cap_cache=self._node_caps)
         else:
-            rep_paths = self._stage_paths(rep, inverse[path.target],
-                                          path.transition)
-            template = TreeTemplate.translated(
-                self._template_for(rep, rep_paths[order], order),
-                name_map, elements)
+            with _trace_span("template_share", stage=stage.index,
+                             rep=rep.index):
+                rep_paths = self._stage_paths(rep, inverse[path.target],
+                                              path.transition)
+                template = TreeTemplate.translated(
+                    self._template_for(rep, rep_paths[order], order),
+                    name_map, elements)
             self._count("tree_template_shared")
         self._templates[key] = template
         return template
@@ -906,8 +939,11 @@ class TimingAnalyzer:
                 self._count("kernel_batches")
                 self._count("kernel_nodes",
                             sum(len(r.template) for r in pending_requests))
-            for key, result in zip(pending_keys,
-                                   self.model.evaluate_many(pending_requests)):
+            with _trace_span("kernel_batch", stage=stage_index,
+                             requests=len(pending_requests),
+                             kernel=self.kernel):
+                results = self.model.evaluate_many(pending_requests)
+            for key, result in zip(pending_keys, results):
                 cache[key] = result
 
         # Winner selection on raw (time, rank), same ordering as _beats.
@@ -1044,16 +1080,17 @@ class TimingAnalyzer:
         """
         out: List[Tuple[Event, Arrival, Tuple[int, int]]] = []
         considered = 0
-        for node in sorted(stage.internal_nodes):
-            for transition in _TRANSITIONS:
-                if not self._event_allowed(node, transition):
-                    continue
-                paths = self._stage_paths(stage, node, transition)
-                best, best_rank, count = self._best_candidate(
-                    stage, self._full_group(paths), arrivals)
-                considered += count
-                if best is not None:
-                    out.append((Event(node, transition), best, best_rank))
+        with _trace_span("stage_eval", stage=stage.index, mode="front"):
+            for node in sorted(stage.internal_nodes):
+                for transition in _TRANSITIONS:
+                    if not self._event_allowed(node, transition):
+                        continue
+                    paths = self._stage_paths(stage, node, transition)
+                    best, best_rank, count = self._best_candidate(
+                        stage, self._full_group(paths), arrivals)
+                    considered += count
+                    if best is not None:
+                        out.append((Event(node, transition), best, best_rank))
         self.stage_costs.observe(stage.index, considered)
         return out
 

@@ -79,3 +79,7 @@ class SweepError(AnalysisError):
 
 class MeasurementError(AnalysisError):
     """A waveform measurement could not be taken (no crossing, …)."""
+
+
+class TraceError(ReproError):
+    """A trace file or bench-trend artifact is malformed or unreadable."""

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
 from ..perf import DispatchStat, ParallelPerf
+from ..trace.spans import span as _trace_span
 from .worker import AnalyzerSpec, initialize_worker
 
 #: worker slot used in stats for chunks the parent ran itself
@@ -165,7 +166,8 @@ class ParallelExecutor:
         attempts = max(self.config.max_retries, 0) + 1
         for attempt in range(attempts):
             try:
-                return self._gather(fn, tasks)
+                with _trace_span("dispatch", label=label, tasks=len(tasks)):
+                    return self._gather(fn, tasks)
             except PoolFailure as exc:
                 remaining = attempts - attempt - 1
                 if remaining > 0:

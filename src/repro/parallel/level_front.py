@@ -36,6 +36,7 @@ from ..core.timing.paths import StateMap
 from ..errors import TimingError
 from ..netlist import Network
 from ..perf import ParallelPerf, PerfCounters
+from ..trace import spans as _trace
 from .chunking import balanced_chunks, chunk_weight, structural_weight
 from .executor import (PARENT_SLOT, ParallelConfig, ParallelExecutor,
                        record_dispatch)
@@ -64,7 +65,7 @@ def _serial_stage_chunk(analyzer: TimingAnalyzer,
             for index in sorted(stage_indexes)
         )
         elapsed = _time.perf_counter() - start
-        return (chunk_id, PARENT_SLOT, elapsed, stage_results, {}, {})
+        return (chunk_id, PARENT_SLOT, elapsed, stage_results, {}, {}, ())
 
     return run
 
@@ -211,14 +212,17 @@ def _propagate_fronts(analyzer: TimingAnalyzer, inputs: InputMap,
         # Deterministic merge: ascending stage index, then the engine's
         # own tie-break (each internal node lives in exactly one stage,
         # so commits cannot conflict across chunks).
+        tracer = _trace.current()
         merged: List[Tuple[int, Tuple]] = []
         for result in results:
-            _cid, _pid, _secs, stage_results, costs, counters = result
-            merged.extend(stage_results)
-            analyzer.stage_costs.merge_raw(costs)
+            merged.extend(result[3])
+            analyzer.stage_costs.merge_raw(result[4])
+            counters = result[5]
             pperf.record_template_stats(counters)
             for name, value in counters.items():
                 perf.incr(name, value)
+            if tracer is not None and len(result) > 6:
+                tracer.extend(result[6])
         merged.sort(key=lambda item: item[0])
         for _index, candidates in merged:
             for event, arrival, rank in candidates:

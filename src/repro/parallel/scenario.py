@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..core.timing import TimingAnalyzer
 from ..core.timing.analyzer import Arrival, Event
 from ..perf import ParallelPerf
+from ..trace import spans as _trace
 from .chunking import contiguous_chunks, delta_aware_chunks
 from .executor import (PARENT_SLOT, ParallelConfig, ParallelExecutor,
                        record_dispatch)
@@ -68,7 +69,7 @@ def _serial_vector_chunk(spec: AnalyzerSpec):
                             dict(outcome_perf.timers) if outcome_perf
                             else {}))
         elapsed = time.perf_counter() - start
-        return (chunk_id, PARENT_SLOT, elapsed, tuple(results))
+        return (chunk_id, PARENT_SLOT, elapsed, tuple(results), ())
 
     return run
 
@@ -138,9 +139,12 @@ def run_vectors_sharded(spec: AnalyzerSpec, items: Sequence[VectorItem],
         items=[hi - lo for lo, hi in spans],
         weights=[float(hi - lo) for lo, hi in spans])
 
+    tracer = _trace.current()
     outcomes: List[VectorOutcome] = []
     for result in results:
         outcomes.extend(result[3])
+        if tracer is not None and len(result) > 4:
+            tracer.extend(result[4])
     outcomes.sort(key=lambda r: r[0])
     for _position, _arrivals, counters, _timers in outcomes:
         pperf.record_template_stats(counters)

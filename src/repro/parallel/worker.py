@@ -37,6 +37,7 @@ from ..core.timing.paths import StateMap
 from ..netlist import Network
 from ..perf import PerfCounters, StageCostModel
 from ..tech import Transition
+from ..trace import spans as _trace
 
 #: tests point this at a file; the worker that wins its removal dies
 CRASH_FILE_ENV = "REPRO_PARALLEL_CRASH_FILE"
@@ -69,6 +70,9 @@ class AnalyzerSpec:
     #: the parent's compiled tree templates (template keys are
     #: deterministic across processes, so workers skip recompilation)
     templates: Optional[Dict] = None
+    #: parent had a tracer active → workers record spans and ship them
+    #: back on the task result tuples (DESIGN.md §7)
+    tracing: bool = False
 
     @classmethod
     def from_analyzer(cls, analyzer: TimingAnalyzer) -> "AnalyzerSpec":
@@ -78,7 +82,8 @@ class AnalyzerSpec:
                    incremental=analyzer.incremental,
                    slope_quantum=analyzer.slope_quantum,
                    kernel=analyzer.kernel,
-                   templates=analyzer.export_templates() or None)
+                   templates=analyzer.export_templates() or None,
+                   tracing=_trace.current() is not None)
 
     def build(self) -> TimingAnalyzer:
         analyzer = TimingAnalyzer(self.network, model=self.model,
@@ -113,10 +118,31 @@ _STATE: Optional[_WorkerState] = None
 
 
 def initialize_worker(payload: bytes) -> None:
-    """Pool initializer: rebuild the analyzer from the shipped spec."""
+    """Pool initializer: rebuild the analyzer from the shipped spec.
+
+    When the spec says the parent is tracing, a local
+    :class:`~repro.trace.spans.Tracer` is installed in this process;
+    task functions drain its buffer into their result tuples so the
+    parent can merge worker spans onto the shared timeline
+    (``time.perf_counter`` is CLOCK_MONOTONIC system-wide on Linux).
+    """
     global _STATE
     spec = AnalyzerSpec.from_payload(payload)
+    # Always replace any tracer inherited through fork: its buffer holds
+    # the parent's pre-fork records, which must not ship back (the parent
+    # already has them) — the worker starts from a clean buffer.
+    _trace.uninstall()
+    if spec.tracing:
+        _trace.install(_trace.Tracer())
     _STATE = _WorkerState(analyzer=spec.build())
+
+
+def _drain_spans() -> Tuple:
+    """This worker's recorded spans since the last task, wire-ready."""
+    tracer = _trace.current()
+    if tracer is None:
+        return ()
+    return tuple(tracer.drain())
 
 
 def _state() -> _WorkerState:
@@ -183,9 +209,11 @@ def run_stage_chunk(args: Tuple) -> Tuple:
 
     ``args``  = (chunk_id, stage_indexes, arrival_wire)
     returns   = (chunk_id, pid, seconds, stage_results, stage_costs,
-                 counters) where ``stage_results`` is a tuple of
+                 counters, spans) where ``stage_results`` is a tuple of
     ``(stage_index, ((event, arrival, rank), ...))`` in ascending stage
-    order — the deterministic merge order the parent commits in.
+    order — the deterministic merge order the parent commits in — and
+    ``spans`` is this worker's drained span buffer (empty when the
+    parent is not tracing).
     """
     maybe_inject_fault()
     chunk_id, stage_indexes, arrival_wire = args
@@ -202,27 +230,32 @@ def run_stage_chunk(args: Tuple) -> Tuple:
     analyzer._run_perf = perf
     start = time.perf_counter()
     try:
-        stage_results = tuple(
-            (index, tuple(analyzer.stage_candidates(stages[index], arrivals)))
-            for index in sorted(stage_indexes)
-        )
+        with _trace.span("stage_chunk", chunk=chunk_id,
+                         stages=len(stage_indexes)):
+            stage_results = tuple(
+                (index,
+                 tuple(analyzer.stage_candidates(stages[index], arrivals)))
+                for index in sorted(stage_indexes)
+            )
     finally:
         analyzer._run_perf = None
         analyzer.stage_costs = saved_costs
     elapsed = time.perf_counter() - start
     saved_costs.merge(costs)
     return (chunk_id, os.getpid(), elapsed, stage_results,
-            dict(costs.observed), dict(perf.counters))
+            dict(costs.observed), dict(perf.counters), _drain_spans())
 
 
 def run_vector_chunk(args: Tuple) -> Tuple:
     """Analyze one block of sweep vectors against the worker's analyzer.
 
     ``args``  = (chunk_id, ((position, label, inputs), ...)[, delta])
-    returns   = (chunk_id, pid, seconds, results) where each result is
-    ``(position, arrivals, counters, timers)`` — the full arrival map, so
-    the parent can reconstruct a complete :class:`TimingResult` (critical
-    paths included) in the original vector order.
+    returns   = (chunk_id, pid, seconds, results, spans) where each
+    result is ``(position, arrivals, counters, timers)`` — the full
+    arrival map, so the parent can reconstruct a complete
+    :class:`TimingResult` (critical paths included) in the original
+    vector order — and ``spans`` is this worker's drained span buffer
+    (empty when the parent is not tracing).
 
     The optional ``delta`` flag (absent in pre-delta task tuples) routes
     vectors through dirty-cone re-analysis.  Each chunk cold-starts: the
@@ -239,14 +272,16 @@ def run_vector_chunk(args: Tuple) -> Tuple:
 
     results = []
     start = time.perf_counter()
-    if delta:
-        analyzer.clear_carryover()
-    for position, _label, inputs in vectors:
-        outcome = (analyzer.analyze_delta(inputs) if delta
-                   else analyzer.analyze(inputs))
-        perf = outcome.perf
-        results.append((position, outcome.arrivals,
-                        dict(perf.counters) if perf else {},
-                        dict(perf.timers) if perf else {}))
+    with _trace.span("vector_chunk", chunk=chunk_id, vectors=len(vectors),
+                     delta=delta):
+        if delta:
+            analyzer.clear_carryover()
+        for position, _label, inputs in vectors:
+            outcome = (analyzer.analyze_delta(inputs) if delta
+                       else analyzer.analyze(inputs))
+            perf = outcome.perf
+            results.append((position, outcome.arrivals,
+                            dict(perf.counters) if perf else {},
+                            dict(perf.timers) if perf else {}))
     elapsed = time.perf_counter() - start
-    return (chunk_id, os.getpid(), elapsed, tuple(results))
+    return (chunk_id, os.getpid(), elapsed, tuple(results), _drain_spans())

@@ -137,20 +137,35 @@ class PerfCounters:
         return (hits / total) if total else None
 
     def format_table(self, title: str = "perf counters") -> str:
-        """A fixed-width report, standard counters first."""
+        """A fixed-width report, standard counters first.
+
+        Zero-valued counters are elided consistently: a counter that was
+        only ever incremented by 0 reads the same as one never touched.
+        The value column grows with the longest count, so ≥10-digit
+        counters stay aligned with the hit-rate and timer rows.
+        """
         lines = [title, "-" * len(title)]
-        ordered = [n for n in STANDARD_COUNTERS if n in self.counters]
-        ordered += sorted(n for n in self.counters
-                          if n not in STANDARD_COUNTERS)
+        shown = {n: v for n, v in self.counters.items() if v}
+        ordered = [n for n in STANDARD_COUNTERS if n in shown]
+        ordered += sorted(n for n in shown if n not in STANDARD_COUNTERS)
+        rate = self.cache_hit_rate
         width = max((len(n) for n in ordered), default=0)
         width = max(width, max((len(n) for n in self.timers), default=0))
-        for name in ordered:
-            lines.append(f"{name:<{width}}  {self.counters[name]:>12}")
-        rate = self.cache_hit_rate
         if rate is not None:
-            lines.append(f"{'model cache hit rate':<{width}}  {rate:>11.1%}")
+            width = max(width, len("model cache hit rate"))
+        # Timer rows append a one-char "s" unit, so their numeric field
+        # is one narrower than the integer counter column; the percent
+        # sign is part of the formatted rate, so that row uses the full
+        # width.
+        vwidth = max([12] + [len(str(shown[n])) for n in ordered])
+        for name in ordered:
+            lines.append(f"{name:<{width}}  {shown[name]:>{vwidth}}")
+        if rate is not None:
+            lines.append(f"{'model cache hit rate':<{width}}  "
+                         f"{rate:>{vwidth}.1%}")
         for name in sorted(self.timers):
-            lines.append(f"{name:<{width}}  {self.timers[name]:>11.6f}s")
+            lines.append(f"{name:<{width}}  "
+                         f"{self.timers[name]:>{vwidth - 1}.6f}s")
         if self.parallel is not None:
             lines.extend(self.parallel.format_lines())
         return "\n".join(lines)

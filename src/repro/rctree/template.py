@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import AnalysisError
+from ..trace.spans import span as _trace_span
 from .elmore import TimeConstants
 from .kernel import (SMALL_TREE_CUTOFF, StageConstants,
                      compute_stage_constants, depth_levels, kernel_available)
@@ -142,10 +143,13 @@ class TreeTemplate:
             # The level grouping only serves the numpy backend; small
             # trees dispatch to the list backend, so don't build it for
             # them (a forced-numpy kernel computes its own).
-            if self._levels is None and len(self.parent) >= SMALL_TREE_CUTOFF:
-                self._levels = depth_levels(self.parent)
-            self._constants = compute_stage_constants(
-                self.parent, self.r, self.c, self._levels)
+            # Traced as a span (once per template: memoized below).
+            with _trace_span("kernel_constants", nodes=len(self.parent)):
+                if self._levels is None \
+                        and len(self.parent) >= SMALL_TREE_CUTOFF:
+                    self._levels = depth_levels(self.parent)
+                self._constants = compute_stage_constants(
+                    self.parent, self.r, self.c, self._levels)
         return self._constants
 
     def constants_for(self, node: str) -> TimeConstants:

@@ -1,0 +1,97 @@
+"""Trace smoke gate: a parallel traced sweep must produce a valid,
+cross-process Chrome trace.
+
+``make trace-smoke`` (and CI) runs this module.  It sweeps an 8-bit
+ripple-carry adder across 16 Gray-ordered vectors with ``jobs=2`` under
+an installed tracer, writes the merged trace to
+``benchmarks/output/trace_smoke.json``, and then checks the properties
+the observability subsystem promises (DESIGN.md §7):
+
+* the file validates against the Chrome ``trace_event`` shape;
+* spans arrived from at least two distinct worker processes in
+  addition to the parent (cross-process collection works end to end);
+* worker spans include the engine's nested taxonomy — ``analyze``
+  roots with ``stage_eval`` and ``kernel_batch`` descendants — not
+  just the chunk envelopes;
+* every (pid, sid) pair is unique after the merge (no double-drained
+  buffers, no fork-inherited parent records).
+
+Exit status 0 on success; a failed property raises and exits nonzero.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from ..batch import CartesianSweep, run_sweep
+from ..circuits import adder_input_names, ripple_carry_adder
+from ..core.models import characterize_technology
+from ..tech import CMOS3
+from . import export, spans
+
+OUTPUT_FILE = (pathlib.Path(__file__).resolve().parents[3]
+               / "benchmarks" / "output" / "trace_smoke.json")
+
+BITS = 8
+JOBS = 2
+#: Axes toggled by the sweep; 4 binary axes -> 16 vectors, enough work
+#: per chunk that both pool workers reliably pick up at least one.
+AXES = ("a1", "b3", "a5", "b7")
+EARLY = 0.0
+LATE = 0.5e-9
+
+
+def run_smoke(output: pathlib.Path = OUTPUT_FILE) -> int:
+    tech = characterize_technology(CMOS3)
+    network = ripple_carry_adder(tech, BITS)
+    base = {name: EARLY for name in adder_input_names(BITS)}
+    source = CartesianSweep(base=base,
+                            axes={name: [EARLY, LATE] for name in AXES})
+
+    tracer = spans.Tracer()
+    with spans.activate(tracer):
+        result = run_sweep(network, source, jobs=JOBS, order="gray")
+    records = tracer.drain()
+
+    output.parent.mkdir(parents=True, exist_ok=True)
+    export.write_chrome_trace(records, str(output))
+    export.validate_trace_file(output)
+
+    parent_pid = {r.pid for r in records if r.name == "sweep"}
+    worker_pids = {r.pid for r in records} - parent_pid
+    worker_names = {r.name for r in records if r.pid in worker_pids}
+    ids = [(r.pid, r.sid) for r in records]
+
+    checks = [
+        (len(result.outcomes) == 2 ** len(AXES),
+         f"sweep covered {len(result.outcomes)} vectors"),
+        (len(parent_pid) == 1, "exactly one parent pid owns the sweep span"),
+        (len(worker_pids) >= 2,
+         f"spans from >=2 worker processes (got {len(worker_pids)})"),
+        ({"vector_chunk", "analyze", "stage_eval"} <= worker_names,
+         "workers shipped nested analyze/stage_eval spans"),
+        ("kernel_batch" in worker_names,
+         "workers shipped kernel_batch spans"),
+        (len(ids) == len(set(ids)), "all (pid, sid) pairs unique"),
+    ]
+    failed = [message for ok, message in checks if not ok]
+    for ok, message in checks:
+        print(f"  {'ok' if ok else 'FAIL'}  {message}")
+    if failed:
+        print(f"trace smoke: {len(failed)} check(s) failed", file=sys.stderr)
+        return 1
+
+    print(f"trace smoke: {len(records)} spans from "
+          f"{len(worker_pids) + 1} processes -> {output}")
+    print()
+    print(export.format_trace_summary(records))
+    return 0
+
+
+def main() -> int:
+    return run_smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

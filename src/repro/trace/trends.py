@@ -1,0 +1,204 @@
+"""Cross-run bench trend tracking over the ``BENCH_*.json`` baselines.
+
+Every perf bench writes its own ``benchmarks/BENCH_<name>.json`` with a
+private schema; this module gives them one machine-readable trajectory:
+
+* :func:`collect_metrics` flattens every numeric leaf of every
+  ``BENCH_*.json`` in a directory into dotted keys prefixed with the
+  bench name (``delta.delta.visit_ratio``, ``timing.circuits.rca32.
+  analyzer_seconds``, …), skipping the per-file ``history`` ring buffers
+  and host/timestamp metadata;
+* :func:`record_entry` appends one ``{"timestamp", "metrics"}`` line to
+  the append-only ``benchmarks/BENCH_history.jsonl`` (JSON Lines, one
+  snapshot per line — trivially diffable and uploadable as a CI
+  artifact);
+* :func:`format_trend_report` renders the per-metric delta table the
+  ``trend`` CLI subcommand prints: previous value, current value, and
+  the relative change, with unchanged metrics folded away by default.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from ..errors import TraceError
+
+__all__ = [
+    "HISTORY_FILE",
+    "TrendEntry",
+    "collect_metrics",
+    "flatten_numeric",
+    "format_trend_report",
+    "load_history",
+    "record_entry",
+]
+
+#: default history file name, next to the BENCH_*.json baselines
+HISTORY_FILE = "BENCH_history.jsonl"
+
+#: top-level keys of a BENCH file that are not metrics
+_SKIP_KEYS = frozenset({"history", "host", "updated", "timestamp"})
+
+#: relative change below which a metric counts as unchanged
+_QUIET_THRESHOLD = 0.005
+
+
+def flatten_numeric(obj: object, prefix: str = "",
+                    skip: frozenset = _SKIP_KEYS) -> Dict[str, float]:
+    """Every numeric leaf of *obj* as ``{dotted.key: value}``.
+
+    Booleans flatten to 0/1 (``identical`` flags are trend-worthy);
+    lists are skipped — the only lists in the BENCH files are history
+    ring buffers and host fields, which are not metrics.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if not prefix and key in skip:
+                continue
+            dotted = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(value, dotted, skip))
+    elif isinstance(obj, bool):
+        out[prefix] = float(obj)
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+def collect_metrics(bench_dir: Union[str, pathlib.Path]
+                    ) -> Dict[str, float]:
+    """Flatten every ``BENCH_*.json`` under *bench_dir* into one map.
+
+    Keys are prefixed with the bench name (``BENCH_delta.json`` →
+    ``delta.…``).  The history file itself is excluded.  Unreadable or
+    malformed files raise :class:`TraceError` naming the file — a bench
+    baseline that stops parsing is a bug worth failing on.
+    """
+    directory = pathlib.Path(bench_dir)
+    if not directory.is_dir():
+        raise TraceError(f"bench directory {directory} does not exist")
+    metrics: Dict[str, float] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TraceError(f"cannot parse {path}: {exc}") from exc
+        name = path.stem[len("BENCH_"):]
+        for key, value in flatten_numeric(payload).items():
+            metrics[f"{name}.{key}"] = value
+    return metrics
+
+
+@dataclass(frozen=True)
+class TrendEntry:
+    """One recorded snapshot of the whole bench suite."""
+
+    timestamp: str
+    metrics: Dict[str, float]
+
+
+def load_history(path: Union[str, pathlib.Path]) -> List[TrendEntry]:
+    """Parse a ``BENCH_history.jsonl`` file (missing file = no history)."""
+    history_path = pathlib.Path(path)
+    if not history_path.exists():
+        return []
+    entries: List[TrendEntry] = []
+    for number, line in enumerate(history_path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                f"{history_path}:{number}: bad history line: {exc}") from exc
+        entries.append(TrendEntry(
+            timestamp=str(payload.get("timestamp", "")),
+            metrics={str(k): float(v)
+                     for k, v in payload.get("metrics", {}).items()}))
+    return entries
+
+
+def record_entry(path: Union[str, pathlib.Path],
+                 metrics: Dict[str, float],
+                 timestamp: Optional[str] = None) -> TrendEntry:
+    """Append one snapshot to the history file (created if missing)."""
+    entry = TrendEntry(
+        timestamp=timestamp or time.strftime("%Y-%m-%dT%H:%M:%S"),
+        metrics=dict(metrics))
+    line = json.dumps({"timestamp": entry.timestamp,
+                       "metrics": entry.metrics}, sort_keys=True)
+    with open(path, "a") as handle:
+        handle.write(line + "\n")
+    return entry
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def format_trend_report(previous: Optional[TrendEntry],
+                        current: TrendEntry,
+                        show_all: bool = False) -> str:
+    """The ``trend`` table: per-metric delta of *current* vs *previous*.
+
+    With no *previous* entry this is the baseline report (metric count
+    only, plus the full table when *show_all*).  Otherwise metrics whose
+    relative change is below 0.5 % are summarized in one line unless
+    *show_all* — wall-clock jitter would drown the signal otherwise.
+    """
+    lines: List[str] = []
+    if previous is None:
+        lines.append(f"bench trend: baseline recorded "
+                     f"({len(current.metrics)} metric(s), "
+                     f"{current.timestamp})")
+        if show_all:
+            lines.append(f"{'metric':<52} {'value':>14}")
+            for name in sorted(current.metrics):
+                lines.append(f"{name:<52} "
+                             f"{_format_value(current.metrics[name]):>14}")
+        return "\n".join(lines)
+
+    names = sorted(set(previous.metrics) | set(current.metrics))
+    rows: List[str] = []
+    quiet = 0
+    header = (f"{'metric':<52} {'previous':>14} {'current':>14} "
+              f"{'delta':>9}")
+    for name in names:
+        before = previous.metrics.get(name)
+        after = current.metrics.get(name)
+        if before is None:
+            rows.append(f"{name:<52} {'-':>14} "
+                        f"{_format_value(after):>14} {'new':>9}")
+            continue
+        if after is None:
+            rows.append(f"{name:<52} {_format_value(before):>14} "
+                        f"{'-':>14} {'gone':>9}")
+            continue
+        if before == after:
+            change = 0.0
+        elif before == 0.0:
+            change = float("inf")
+        else:
+            change = (after - before) / abs(before)
+        if abs(change) < _QUIET_THRESHOLD and not show_all:
+            quiet += 1
+            continue
+        delta = "+inf" if change == float("inf") else f"{change:+.1%}"
+        rows.append(f"{name:<52} {_format_value(before):>14} "
+                    f"{_format_value(after):>14} {delta:>9}")
+    lines.append(f"bench trend: {previous.timestamp} → {current.timestamp} "
+                 f"({len(names)} metric(s))")
+    lines.append(header)
+    lines.append("-" * len(header))
+    lines.extend(rows if rows else ["(no metrics changed)"])
+    if quiet and not show_all:
+        lines.append(f"… {quiet} metric(s) within ±{_QUIET_THRESHOLD:.1%} "
+                     "(pass --all to list them)")
+    return "\n".join(lines)

@@ -373,3 +373,148 @@ class TestJobsFlag:
                      "b=0", "--jobs", "0"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTraceFlags:
+    def test_timing_trace_writes_valid_file(self, nand_file, tmp_path,
+                                            capsys):
+        from repro.trace.export import validate_trace_file
+
+        trace = tmp_path / "run.json"
+        code = main(["timing", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--input", "a=0", "--input",
+                     "b=0", "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out and "event(s) written" in out
+        count = validate_trace_file(str(trace))
+        assert count > 0
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "analyze" in names
+        assert "stage_eval" in names
+        assert "kernel_batch" in names
+
+    def test_timing_trace_summary_prints_table(self, nand_file, capsys):
+        code = main(["timing", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--input", "a=0", "--input",
+                     "b=0", "--trace-summary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace summary" in out
+        assert "analyze" in out
+        assert "self" in out
+
+    def test_tracer_uninstalled_after_run(self, nand_file, capsys):
+        from repro.trace import spans as trace_spans
+
+        main(["timing", nand_file, "--tech", "cmos3", "--no-characterize",
+              "--input", "a=0", "--input", "b=0", "--trace-summary"])
+        capsys.readouterr()
+        assert trace_spans.current() is None
+
+    def test_sweep_trace_jobs2_has_worker_spans(self, nand_file, tmp_path,
+                                                capsys):
+        import os
+
+        vecs = tmp_path / "vecs.txt"
+        vecs.write_text("".join(f"a={i * 10}p b=0\n" for i in range(12)))
+        trace = tmp_path / "sweep.json"
+        code = main(["sweep", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--vectors", str(vecs),
+                     "--jobs", "2", "--trace", str(trace)])
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert os.getpid() in pids
+        assert len(pids - {os.getpid()}) >= 1  # worker span(s) merged
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "vector_chunk" in names
+        assert "sweep" in names
+
+    def test_aborted_run_still_flushes_profile_and_trace(self, nand_file,
+                                                         tmp_path, capsys):
+        trace = tmp_path / "aborted.json"
+        code = main(["timing", nand_file, "--tech", "cmos3",
+                     "--no-characterize", "--input", "nosuch=0",
+                     "--profile", "--trace", str(trace)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "partial: run aborted" in captured.out
+        assert trace.exists()  # partial trace written by the finally
+
+    def test_aborted_sweep_flushes_partial_profile(self, nand_file,
+                                                   tmp_path, capsys):
+        from unittest import mock
+
+        vecs = tmp_path / "vecs.txt"
+        vecs.write_text("a=0 b=0\na=100p b=0\n")
+
+        from repro.core.timing import TimingAnalyzer
+
+        real = TimingAnalyzer.analyze_many
+        calls = {"n": 0}
+
+        def explode(self, scenarios, delta=False):
+            calls["n"] += 1
+            raise RuntimeError("mid-sweep abort")
+
+        with mock.patch.object(TimingAnalyzer, "analyze_many", explode):
+            with pytest.raises(RuntimeError):
+                main(["sweep", nand_file, "--tech", "cmos3",
+                      "--no-characterize", "--vectors", str(vecs),
+                      "--profile"])
+        out = capsys.readouterr().out
+        assert calls["n"] == 1
+        assert "partial: run aborted" in out
+        assert real is TimingAnalyzer.analyze_many  # patch reverted
+
+
+class TestTrendCommand:
+    def _bench_dir(self, tmp_path, value):
+        bench = tmp_path / "benchmarks"
+        bench.mkdir(exist_ok=True)
+        (bench / "BENCH_demo.json").write_text(
+            json.dumps({"speed": value, "nested": {"count": 3}}))
+        return bench
+
+    def test_baseline_then_delta(self, tmp_path, capsys):
+        bench = self._bench_dir(tmp_path, 2.0)
+        code = main(["trend", "--bench-dir", str(bench)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline recorded" in out
+        assert (bench / "BENCH_history.jsonl").exists()
+
+        self._bench_dir(tmp_path, 3.0)  # speed 2.0 → 3.0
+        code = main(["trend", "--bench-dir", str(bench)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "demo.speed" in out
+        assert "+50.0%" in out
+        history = (bench / "BENCH_history.jsonl").read_text().splitlines()
+        assert len(history) == 2
+
+    def test_no_record_leaves_history_untouched(self, tmp_path, capsys):
+        bench = self._bench_dir(tmp_path, 2.0)
+        code = main(["trend", "--bench-dir", str(bench), "--no-record"])
+        assert code == 0
+        assert not (bench / "BENCH_history.jsonl").exists()
+        capsys.readouterr()
+
+    def test_missing_dir_is_error(self, tmp_path, capsys):
+        code = main(["trend", "--bench-dir", str(tmp_path / "nope")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_real_bench_dir_parses(self, capsys, tmp_path):
+        # the repo's own BENCH_*.json baselines must always flatten
+        bench = pathlib.Path(__file__).parent.parent / "benchmarks"
+        history = tmp_path / "history.jsonl"
+        code = main(["trend", "--bench-dir", str(bench),
+                     "--history", str(history), "--no-record"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline recorded" in out

@@ -141,9 +141,10 @@ class TestWorkerFunctions:
         try:
             worker_mod.initialize_worker(spec.to_payload())
             task = (0, ((0, "v0", inputs), (1, "v1", inputs)))
-            chunk_id, pid, seconds, results = worker_mod.run_vector_chunk(
-                task)
+            chunk_id, pid, seconds, results, spans = (
+                worker_mod.run_vector_chunk(task))
             assert chunk_id == 0 and len(results) == 2
+            assert spans == ()  # no tracer installed -> nothing shipped
             assert [r[0] for r in results] == [0, 1]
             reference = TimingAnalyzer(net).analyze(inputs)
             for _pos, arrivals, counters, _timers in results:
@@ -165,10 +166,11 @@ class TestWorkerFunctions:
         saved = worker_mod._STATE
         try:
             worker_mod.initialize_worker(spec.to_payload())
-            _cid, _pid, _secs, stage_results, costs, counters = (
+            _cid, _pid, _secs, stage_results, costs, counters, spans = (
                 worker_mod.run_stage_chunk((0, (stage.index,), wire)))
         finally:
             worker_mod._STATE = saved
+        assert spans == ()  # no tracer installed -> nothing shipped
         assert stage.index in costs
         assert counters.get("candidates", 0) > 0
         (index, candidates), = stage_results

@@ -101,3 +101,40 @@ class TestDeepStructures:
         levels = analyzer.graph.levels()
         assert len(levels) == len(analyzer.graph.stages)
         assert max(levels.values()) >= depth - 1
+
+
+class TestFormatTable:
+    """Alignment and zero-row rules of PerfCounters.format_table."""
+
+    def test_wide_values_stay_aligned(self):
+        perf = PerfCounters()
+        perf.incr("kernel_nodes", 12_345_678_901_234)  # 14 digits
+        perf.incr("model_cache_hits", 3)
+        perf.incr("model_cache_misses", 1)
+        perf.add_time("analyze", 1.5)
+        table = perf.format_table("wide")
+        rows = [line for line in table.splitlines()[2:]]
+        # every value row ends at the same column
+        assert len({len(row) for row in rows}) == 1
+        assert "12345678901234" in table
+
+    def test_zero_counters_elided_consistently(self):
+        perf = PerfCounters()
+        perf.incr("stage_visits", 5)
+        perf.incr("model_evals", 0)       # explicitly touched, still zero
+        perf.incr("candidates", 3)
+        perf.incr("candidates", -3)       # decayed back to zero
+        table = perf.format_table("t")
+        assert "stage_visits" in table
+        assert "model_evals" not in table
+        assert "candidates" not in table
+
+    def test_hit_rate_label_fits_short_names(self):
+        perf = PerfCounters()
+        perf.incr("hits", 1)
+        perf.incr("model_cache_hits", 1)
+        perf.incr("model_cache_misses", 0)
+        table = perf.format_table("t")
+        rows = table.splitlines()[2:]
+        assert len({len(row) for row in rows}) == 1
+        assert "model cache hit rate" in table
