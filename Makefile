@@ -24,12 +24,20 @@
 #   make perf-trace the tracing-overhead bench: rca32 untraced vs traced
 #                   into BENCH_trace.json; enforces the <2% deterministic
 #                   disabled-overhead gate and records enabled overhead
+#   make perf-service   the timing-service bench: warm daemon vs cold
+#                   per-request processes on rca32 into BENCH_service.json;
+#                   enforces bit-identity, the >=3x model-eval gate, and
+#                   the 25% counter / 2x wall regression gates
 #   make verify-smoke   the conformance smoke gate: 20 fuzzed netlists x
 #                   the full engine-mode matrix at fixed seed 0 (plus
 #                   metamorphic invariants), must exit clean in <60s
 #   make trace-smoke    the observability smoke gate: a jobs=2 traced
 #                   sweep must emit a valid Chrome trace with nested
 #                   spans from >=2 worker processes
+#   make service-smoke  the serving smoke gate: a real daemon process,
+#                   4 concurrent clients, bit-identical arrivals, live
+#                   /metrics, a valid --trace, and a clean SIGTERM
+#                   drain, all under a hard watchdog
 #   make verify-deep    the deep conformance sweep: 200 cases per seed
 #                   over seeds 0-2; run before releases / after engine
 #                   changes, not in CI
@@ -44,11 +52,12 @@ PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 
 BENCH_FILES := benchmarks/BENCH_timing.json benchmarks/BENCH_batch.json \
                benchmarks/BENCH_parallel.json benchmarks/BENCH_kernel.json \
-               benchmarks/BENCH_delta.json benchmarks/BENCH_trace.json
+               benchmarks/BENCH_delta.json benchmarks/BENCH_trace.json \
+               benchmarks/BENCH_service.json
 
 .PHONY: test test-slow perf perf-parallel perf-kernel perf-delta \
-        perf-trace verify-smoke verify-deep trace-smoke check check-fast \
-        bench bench-all goldens
+        perf-trace perf-service verify-smoke verify-deep trace-smoke \
+        service-smoke check check-fast bench bench-all goldens
 
 test:
 	$(PYTEST) -x -q
@@ -73,6 +82,9 @@ perf-delta:
 perf-trace:
 	$(PYTEST) benchmarks/bench_trace_overhead.py -q -s
 
+perf-service:
+	$(PYTEST) benchmarks/bench_service.py -q -s
+
 verify-smoke:
 	PYTHONPATH=$(PYTHONPATH) python -m repro.cli verify \
 	          --cases 20 --seed 0 --profile
@@ -86,11 +98,14 @@ verify-deep:
 trace-smoke:
 	PYTHONPATH=$(PYTHONPATH) python -m repro.trace.smoke
 
-check: test test-slow perf perf-parallel perf-kernel verify-smoke trace-smoke
+service-smoke:
+	PYTHONPATH=$(PYTHONPATH) python -m repro.service.smoke --watchdog 300
+
+check: test test-slow perf perf-parallel perf-kernel verify-smoke trace-smoke service-smoke
 
 # CI's gate: everything in `check` except the slow tier (analog golden
 # references are too heavy for shared runners).
-check-fast: test perf perf-parallel perf-kernel verify-smoke trace-smoke
+check-fast: test perf perf-parallel perf-kernel verify-smoke trace-smoke service-smoke
 
 # Refresh every perf baseline and commit the result.  REPRO_BENCH_NO_FAIL
 # disables the wall-clock guards (new hardware re-records cleanly); the
@@ -102,7 +117,8 @@ bench-all:
 	          benchmarks/bench_parallel.py \
 	          benchmarks/bench_kernel.py \
 	          benchmarks/bench_delta_sweep.py \
-	          benchmarks/bench_trace_overhead.py -q -s
+	          benchmarks/bench_trace_overhead.py \
+	          benchmarks/bench_service.py -q -s
 	git add $(BENCH_FILES)
 	git diff --cached --quiet -- $(BENCH_FILES) || \
 	          git commit -m "Refresh perf baselines" -- $(BENCH_FILES)

@@ -1,0 +1,259 @@
+"""Machine-readable trajectory for the timing service (DESIGN.md §10).
+
+Serves N concurrent clients x M single-vector requests for the 32-bit
+ripple-carry adder against one warm in-process daemon, then replays the
+same 32 requests as **cold per-request processes** — one fresh
+``python -m repro.service.coldref`` per request, the process-per-query
+workflow the daemon exists to replace.  Both sides speak the same wire
+protocol, so "bit-identical" is asserted on the decoded wire values.
+
+Writes ``BENCH_service.json``: wall time and engine model evaluations
+per request for both sides, the pool/coalescing counters, and a bounded
+history.  The run **fails** when
+
+* any arrival differs between the warm service and a cold process (the
+  service must inherit the engine's equivalence guarantee end-to-end
+  through HTTP, JSON, and the analyzer pool), or
+* the warm service needs less than 3x fewer model evaluations per
+  request than the cold baseline (the PR-10 acceptance bar — warm
+  path/template/memo caches are the service's whole point), or
+* warm model evals/request regress more than 25 % over the committed
+  baseline (deterministic counter, so a trip is a real cache
+  regression), or
+* the warm side fails to also win on wall clock, or exceeds twice the
+  historical best sample.  Wall time is noisy on shared machines;
+  ``REPRO_BENCH_NO_FAIL=1`` records without enforcing the wall guards.
+  The counter gates always apply.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import threading
+import time
+
+from repro.circuits import adder_input_names, ripple_carry_adder
+from repro.core.timing.analyzer import InputSpec
+from repro.netlist import sim_format
+from repro.service import ServiceClient, ServiceConfig, TimingService
+from repro.service.protocol import encode_inputs
+from repro.tech import CMOS3
+
+RESULT_FILE = pathlib.Path(__file__).parent / "BENCH_service.json"
+
+#: The PR-10 acceptance bar: >=3x fewer model evals per warm request.
+MIN_EVAL_RATIO = 3.0
+
+#: Allowed warm model-eval growth over the baseline before failing.
+REGRESSION_TOLERANCE = 1.25
+
+#: Wall-clock guard: fail only beyond this multiple of the historical best.
+WALL_TOLERANCE = 2.0
+
+BITS = 32
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 8          # 32 requests total (the acceptance floor)
+SLOPE = 0.2e-9
+LATE = 0.4e-9
+
+HISTORY_LIMIT = 50
+
+
+def _request_inputs(index: int):
+    """Deterministic per-request vector; neighbours differ in a handful
+    of inputs so the daemon's delta coalescing has structure to exploit."""
+    inputs = {}
+    for offset, name in enumerate(adder_input_names(BITS)):
+        arrival = LATE if (index + offset) % 7 == 0 else 0.0
+        inputs[name] = InputSpec(arrival_rise=arrival, arrival_fall=arrival,
+                                 slope=SLOPE)
+    return inputs
+
+
+def _serve_warm(netlist, requests):
+    """All requests through one warm daemon; returns (responses keyed by
+    request index, wall seconds, metrics payload)."""
+    service = TimingService(ServiceConfig(port=0, quiet=True,
+                                          queue_limit=256, timeout=300.0))
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(service.start())
+        ready.set()
+        loop.run_until_complete(service.wait_closed())
+        loop.close()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(30), "service did not start"
+    host, port = service.address
+
+    by_index = {}
+    errors = []
+
+    def client_worker(worker_index):
+        client = ServiceClient(host, port, timeout=300.0)
+        for local in range(REQUESTS_PER_CLIENT):
+            index = worker_index * REQUESTS_PER_CLIENT + local
+            try:
+                served = client.analyze(
+                    netlist, [(f"q{index}", requests[index])],
+                    characterize=False)
+                by_index[index] = served[0].arrivals
+            except Exception as exc:  # surfaced after the join
+                errors.append((index, exc))
+                return
+
+    workers = [threading.Thread(target=client_worker, args=(w,))
+               for w in range(CLIENTS)]
+    start = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - start
+    assert not errors, f"warm requests failed: {errors[:3]}"
+
+    metrics = ServiceClient(host, port).metrics()
+    loop.call_soon_threadsafe(service.request_shutdown)
+    thread.join(30)
+    return by_index, wall, metrics
+
+
+def _run_cold(netlist, requests):
+    """One fresh process per request; returns (responses, wall seconds,
+    total model evals)."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    by_index = {}
+    evals = 0
+    start = time.perf_counter()
+    for index in range(len(requests)):
+        payload = {"netlist": netlist, "characterize": False,
+                   "vectors": [{"label": f"q{index}",
+                                "inputs": encode_inputs(requests[index])}]}
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.service.coldref"],
+            input=json.dumps(payload), capture_output=True, text=True,
+            env=env, timeout=300)
+        assert proc.returncode == 0, (
+            f"cold process {index} failed: {proc.stderr[-500:]}")
+        decoded = json.loads(proc.stdout)
+        arrivals = {}
+        for record in decoded["results"][0]["arrivals"]:
+            arrivals[(record["node"], record["edge"])] = (
+                record["time"], record["slope"])
+        by_index[index] = arrivals
+        evals += decoded["perf"]["counters"].get("model_evals", 0)
+    wall = time.perf_counter() - start
+    return by_index, wall, evals
+
+
+def test_service_vs_cold_processes(emit):
+    netlist = sim_format.dumps(ripple_carry_adder(CMOS3, BITS))
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    requests = [_request_inputs(index) for index in range(total)]
+
+    warm, warm_wall, metrics = _serve_warm(netlist, requests)
+    cold, cold_wall, cold_evals = _run_cold(netlist, requests)
+
+    assert set(warm) == set(cold) == set(range(total))
+    identical = all(warm[index] == cold[index] for index in range(total))
+
+    warm_evals = metrics["perf"]["counters"].get("model_evals", 0)
+    warm_per_request = warm_evals / total
+    cold_per_request = cold_evals / total
+    eval_ratio = (cold_per_request / warm_per_request
+                  if warm_per_request else float("inf"))
+    coalesced = metrics["service"].get("service_coalesced_requests", 0)
+    pool = metrics["pool"]
+
+    lines = [
+        f"timing service vs cold per-request processes "
+        f"(rca{BITS}, {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests)",
+        f"{'side':<14} {'seconds':>9} {'evals/req':>11}",
+        f"{'warm service':<14} {warm_wall:>9.3f} {warm_per_request:>11.1f}",
+        f"{'cold process':<14} {cold_wall:>9.3f} {cold_per_request:>11.1f}",
+        f"model-eval ratio: {eval_ratio:.1f}x fewer evals per warm request",
+        f"wall speedup: {cold_wall / warm_wall:.1f}x",
+        f"coalesced requests: {coalesced}",
+        f"pool: {pool['hits']} hit(s), {pool['misses']} miss(es)",
+        f"bit-identical arrivals: {identical}",
+    ]
+    emit("service", "\n".join(lines))
+
+    previous = None
+    history = []
+    if RESULT_FILE.exists():
+        recorded = json.loads(RESULT_FILE.read_text())
+        previous = recorded.get("service", {})
+        history = recorded.get("history", [])
+
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "warm_seconds": warm_wall,
+        "eval_ratio": eval_ratio,
+    })
+    payload = {
+        "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "service": {
+            "circuit": f"rca{BITS}",
+            "clients": CLIENTS,
+            "requests": total,
+            "warm_seconds": warm_wall,
+            "cold_seconds": cold_wall,
+            "warm_evals_per_request": warm_per_request,
+            "cold_evals_per_request": cold_per_request,
+            "eval_ratio": eval_ratio,
+            "wall_speedup": cold_wall / warm_wall,
+            "coalesced_requests": coalesced,
+            "pool_hits": pool["hits"],
+            "pool_misses": pool["misses"],
+            "identical": identical,
+        },
+        "history": history[-HISTORY_LIMIT:],
+    }
+    RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert identical, (
+        "warm service arrivals diverged from the cold per-request "
+        "reference")
+    assert eval_ratio >= MIN_EVAL_RATIO, (
+        f"warm service only saved {eval_ratio:.1f}x model evals per "
+        f"request (need >= {MIN_EVAL_RATIO:.0f}x)")
+
+    if previous:
+        # Deterministic gate: the warm caches must not regress.
+        recorded_evals = previous.get("warm_evals_per_request")
+        if recorded_evals:
+            assert (warm_per_request
+                    <= recorded_evals * REGRESSION_TOLERANCE), (
+                f"warm model evals regressed: {warm_per_request:.1f} per "
+                f"request vs recorded baseline {recorded_evals:.1f} "
+                f"(>{REGRESSION_TOLERANCE:.0%})")
+
+    if not os.environ.get("REPRO_BENCH_NO_FAIL"):
+        assert warm_wall < cold_wall, (
+            f"warm service lost on wall clock: {warm_wall:.3f}s vs "
+            f"{cold_wall:.3f}s cold")
+        past_walls = [h.get("warm_seconds") for h in history[:-1]
+                      if h.get("warm_seconds")]
+        if past_walls:
+            best = min(past_walls)
+            assert warm_wall <= best * WALL_TOLERANCE, (
+                f"warm service wall time blew out: {warm_wall:.3f}s vs "
+                f"historical best {best:.3f}s (>{WALL_TOLERANCE:.0f}x); "
+                "set REPRO_BENCH_NO_FAIL=1 to re-record on new hardware")

@@ -388,6 +388,23 @@ def cmd_trend(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service.daemon import ServiceConfig, serve
+
+    if args.pool_size < 1:
+        raise ReproError(f"--pool-size must be at least 1, "
+                         f"got {args.pool_size}")
+    if args.queue_limit < 1:
+        raise ReproError(f"--queue-limit must be at least 1, "
+                         f"got {args.queue_limit}")
+    if args.timeout <= 0:
+        raise ReproError(f"--timeout must be positive, got {args.timeout}")
+    return serve(ServiceConfig(
+        host=args.host, port=args.port, pool_size=args.pool_size,
+        queue_limit=args.queue_limit, timeout=args.timeout,
+        trace=args.trace))
+
+
 def cmd_characterize(args: argparse.Namespace) -> int:
     tech = _tech(args.tech, characterized=True)
     print(table_summary(tech))
@@ -581,6 +598,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "changes under 0.5%% away)")
     p.set_defaults(func=cmd_trend)
 
+    p = sub.add_parser(
+        "serve",
+        help="JSON-over-HTTP timing daemon: warm analyzer pool keyed by "
+             "netlist content hash, cross-request delta coalescing "
+             "(DESIGN.md §10)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8351,
+                   help="TCP port; 0 picks a free one and prints it "
+                        "(default 8351)")
+    p.add_argument("--pool-size", type=int, default=4, metavar="N",
+                   help="warm analyzers kept (LRU beyond this; default 4)")
+    p.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                   help="pending requests before 429 rejection "
+                        "(default 64)")
+    p.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS",
+                   help="per-request analysis timeout → 504 (default 30)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the whole serving session as Chrome "
+                        "trace_event JSON at shutdown (request spans "
+                        "nest batch and engine spans)")
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("characterize", help="fit and dump slope tables")
     add_common(p, netlist=False)
     p.add_argument("--output", "-o", metavar="FILE.json")
@@ -590,11 +630,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, dispatch, and turn engine failures into exit 2.
+
+    Every subcommand funnels through this one handler: a
+    :class:`ReproError` of any flavour (parse, timing, sweep, trace,
+    service) or an :class:`OSError` that escaped the engine layers
+    (unwritable ``--output``/``--trace`` targets, unreadable inputs)
+    becomes a one-line ``error: …`` diagnostic on stderr and exit code
+    2 — never a raw traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -445,6 +445,14 @@ class TimingAnalyzer:
                 arrivals, ranks, normalized = self._propagate(inputs, perf)
                 scope.set(stage_visits=perf.get("stage_visits"),
                           model_evals=perf.get("model_evals"))
+        except BaseException:
+            # A raised propagation must not leave carryover pointing at a
+            # run the caller never saw complete: drop it so the next
+            # analyze_delta() provably cold-starts instead of deltaing
+            # against state whose provenance is now ambiguous
+            # (tests/test_carryover_failure.py locks this down).
+            self._carryover = None
+            raise
         finally:
             self._run_perf = None
             self.perf.merge(perf)
@@ -467,8 +475,10 @@ class TimingAnalyzer:
         delta differential tests lock that equivalence).
 
         Falls back to a full :meth:`analyze` when there is no carryover
-        (first run, or after :meth:`clear_carryover` /
-        :meth:`invalidate_caches`).  Counters: ``delta_scenarios``,
+        (first run, after :meth:`clear_carryover` /
+        :meth:`invalidate_caches`, or after a run that raised — a failed
+        propagation invalidates carryover so the next delta run is
+        bit-identical to a cold analysis).  Counters: ``delta_scenarios``,
         ``input_delta``, ``cone_stages``, ``stages_skipped``,
         ``arrivals_reused``.
         """
@@ -491,6 +501,15 @@ class TimingAnalyzer:
                 scope.set(changed_inputs=perf.get("input_delta"),
                           cone_stages=perf.get("cone_stages"),
                           stages_skipped=perf.get("stages_skipped"))
+        except BaseException:
+            # Same failure contract as analyze(): _propagate_delta mutates
+            # only private copies of the carried-over dicts, so the stale
+            # tuple *would* still be consistent — but consistency of the
+            # previous fixpoint is an invariant worth enforcing, not
+            # assuming.  Invalidate, so the next delta run cold-starts and
+            # is trivially bit-identical to a fresh analyze().
+            self._carryover = None
+            raise
         finally:
             self._run_perf = None
             self.perf.merge(perf)

@@ -83,3 +83,16 @@ class MeasurementError(AnalysisError):
 
 class TraceError(ReproError):
     """A trace file or bench-trend artifact is malformed or unreadable."""
+
+
+class ServiceError(ReproError):
+    """A timing-service request or response is invalid.
+
+    Raised by the daemon for malformed request envelopes and by the
+    client for transport failures and error responses; carries the
+    HTTP-ish status the daemon maps it to (400 unless stated).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        self.status = status
+        super().__init__(message)

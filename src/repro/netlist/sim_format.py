@@ -71,9 +71,18 @@ def loads(text: str, tech: Technology, name: str = "sim",
 
 
 def load(path: str, tech: Technology) -> Network:
-    """Parse a ``.sim`` file from disk."""
-    with open(path) as handle:
-        return loads(handle.read(), tech, name=path, filename=path)
+    """Parse a ``.sim`` file from disk.
+
+    A missing or unreadable file raises :class:`ParseError` naming the
+    path — CLI callers turn that into a clean exit-2 diagnostic instead
+    of an ``OSError`` traceback.
+    """
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ParseError(f"cannot read netlist {path!r}: {exc}") from exc
+    return loads(text, tech, name=path, filename=path)
 
 
 def dumps(network: Network) -> str:
@@ -106,7 +115,10 @@ def dumps(network: Network) -> str:
     for cap in network.capacitors:
         lines.append(
             f"C {cap.node_a} {cap.node_b} {cap.capacitance / 1e-15:.12g}")
-    for node in network.signal_nodes:
+    # Sorted by name so the text is independent of node creation order
+    # (parsing re-creates nodes in line order, which would otherwise make
+    # dump → parse → dump shuffle these lines).
+    for node in sorted(network.signal_nodes, key=lambda n: n.name):
         if node.capacitance > 0:
             lines.append(
                 f"C {node.name} gnd {node.capacitance / 1e-15:.12g}")

@@ -150,8 +150,12 @@ def loads(text: str, tech: Technology, name: str = "spice",
 
 
 def load(path: str, tech: Technology) -> Tuple[Network, Dict[str, StimulusSpec]]:
-    with open(path) as handle:
-        return loads(handle.read(), tech, name=path, filename=path)
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ParseError(f"cannot read netlist {path!r}: {exc}") from exc
+    return loads(text, tech, name=path, filename=path)
 
 
 def _need(condition: bool, message: str, filename: str, lineno: int) -> None:

@@ -1,0 +1,215 @@
+"""Wire protocol of the timing service: request/response JSON shapes.
+
+One request analyzes a batch of input vectors against one netlist:
+
+.. code-block:: json
+
+    {"netlist": "| adder\\ni a b\\n…",
+     "tech": "cmos3", "model": "slope", "kernel": "numpy",
+     "slope_quantum": 0.0, "characterize": true,
+     "vectors": [{"label": "v0",
+                  "inputs": {"a": "0.0", "b": "1e-09~2e-09/5e-10"}}]}
+
+Input values use the stock two-edge timing-token grammar (everything
+after the ``=`` of ``NODE=RISE~FALL[/SLOPE]`` — see
+:func:`repro.batch.parse_timing_token`), so a request is exactly a
+``.vec`` file in JSON clothes.  The response carries one entry per
+vector, arrivals sorted by (node, edge):
+
+.. code-block:: json
+
+    {"results": [{"label": "v0", "arrivals": [
+        {"node": "y", "edge": "rise",
+         "time": 1.93e-10, "slope": 9.1e-11}, …]}]}
+
+Exactness: times and slopes travel as JSON numbers serialized with
+``repr``-style shortest round-trip formatting (Python's ``json`` module
+default), so the client decodes the daemon's arrivals **bit-identical**
+to what the engine computed — the service smoke test and
+``benchmarks/bench_service.py`` both assert equality, not approx.
+
+The pool key (:meth:`AnalyzeRequest.pool_key`) hashes everything that
+shapes the analyzer — netlist text, technology, model, kernel, slope
+quantum, characterization — but *not* the vectors: two requests that
+differ only in vectors share a warm analyzer and its caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from ..batch.vectors import Vector, format_timing_token, parse_timing_token
+from ..core.models import (
+    LumpedRCModel,
+    RCTreeModel,
+    SlopeModel,
+    characterize_technology,
+)
+from ..core.timing.analyzer import InputSpec, TimingResult
+from ..errors import ReproError, ServiceError
+from ..tech import CMOS3, NMOS4, Technology, Transition
+
+__all__ = [
+    "AnalyzeRequest",
+    "MODELS",
+    "TECHNOLOGIES",
+    "decode_arrivals",
+    "encode_inputs",
+    "encode_result",
+    "parse_analyze_request",
+]
+
+TECHNOLOGIES: Dict[str, Technology] = {"nmos4": NMOS4, "cmos3": CMOS3}
+
+MODELS = {
+    "lumped-rc": LumpedRCModel,
+    "rc-tree": RCTreeModel,
+    "slope": SlopeModel,
+}
+
+KERNELS = ("numpy", "python")
+
+_EDGES = {Transition.RISE: "rise", Transition.FALL: "fall"}
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """A validated ``POST /analyze`` body."""
+
+    netlist: str
+    tech: str = "cmos3"
+    model: str = "slope"
+    kernel: str = "numpy"
+    slope_quantum: float = 0.0
+    characterize: bool = True
+    vectors: Tuple[Vector, ...] = field(default_factory=tuple)
+
+    def pool_key(self) -> str:
+        """Content hash of everything that shapes the warm analyzer."""
+        blob = json.dumps({
+            "netlist": self.netlist,
+            "tech": self.tech,
+            "model": self.model,
+            "kernel": self.kernel,
+            "slope_quantum": self.slope_quantum,
+            "characterize": self.characterize,
+        }, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def technology(self) -> Technology:
+        base = TECHNOLOGIES[self.tech]
+        return characterize_technology(base) if self.characterize else base
+
+
+def _need(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceError(message)
+
+
+def parse_analyze_request(payload: object) -> AnalyzeRequest:
+    """Validate a decoded request body; raises :class:`ServiceError`
+    (mapped to a 400 response) naming the offending field."""
+    _need(isinstance(payload, dict), "request body must be a JSON object")
+    assert isinstance(payload, dict)
+    unknown = set(payload) - {"netlist", "tech", "model", "kernel",
+                              "slope_quantum", "characterize", "vectors"}
+    _need(not unknown,
+          f"unknown request field(s): {', '.join(sorted(unknown))}")
+
+    netlist = payload.get("netlist")
+    _need(isinstance(netlist, str) and netlist.strip() != "",
+          "request needs a non-empty 'netlist' string (.sim text)")
+
+    tech = payload.get("tech", "cmos3")
+    _need(tech in TECHNOLOGIES,
+          f"unknown tech {tech!r}; choose from "
+          f"{', '.join(sorted(TECHNOLOGIES))}")
+    model = payload.get("model", "slope")
+    _need(model in MODELS,
+          f"unknown model {model!r}; choose from {', '.join(sorted(MODELS))}")
+    kernel = payload.get("kernel", "numpy")
+    _need(kernel in KERNELS,
+          f"unknown kernel {kernel!r}; choose from {', '.join(KERNELS)}")
+    quantum = payload.get("slope_quantum", 0.0)
+    _need(isinstance(quantum, (int, float)) and not isinstance(quantum, bool)
+          and quantum >= 0.0, "'slope_quantum' must be a number >= 0")
+    characterize = payload.get("characterize", True)
+    _need(isinstance(characterize, bool), "'characterize' must be a boolean")
+
+    raw_vectors = payload.get("vectors")
+    _need(isinstance(raw_vectors, list) and raw_vectors,
+          "request needs a non-empty 'vectors' list")
+    assert isinstance(raw_vectors, list)
+    vectors: List[Vector] = []
+    for position, entry in enumerate(raw_vectors):
+        _need(isinstance(entry, dict),
+              f"vectors[{position}] must be an object")
+        label = entry.get("label", f"v{position}")
+        _need(isinstance(label, str) and label,
+              f"vectors[{position}].label must be a non-empty string")
+        raw_inputs = entry.get("inputs")
+        _need(isinstance(raw_inputs, dict) and raw_inputs,
+              f"vectors[{position}] needs a non-empty 'inputs' object")
+        inputs: Dict[str, InputSpec] = {}
+        for name, value in raw_inputs.items():
+            _need(isinstance(value, str),
+                  f"vectors[{position}].inputs[{name!r}] must be a "
+                  "timing-token string")
+            try:
+                parsed_name, spec = parse_timing_token(f"{name}={value}")
+            except ReproError as exc:
+                raise ServiceError(
+                    f"vectors[{position}].inputs[{name!r}]: {exc}") from exc
+            inputs[parsed_name] = spec
+        vectors.append(Vector(label=label, inputs=inputs))
+
+    return AnalyzeRequest(
+        netlist=netlist, tech=tech, model=model, kernel=kernel,
+        slope_quantum=float(quantum), characterize=characterize,
+        vectors=tuple(vectors))
+
+
+def encode_inputs(inputs: Mapping[str, InputSpec]) -> Dict[str, str]:
+    """Client-side inverse of the request's ``inputs`` object: each spec
+    as the value part of its exact-repr timing token."""
+    encoded: Dict[str, str] = {}
+    for name, spec in inputs.items():
+        token = format_timing_token(name, spec)
+        encoded[name] = token.split("=", 1)[1]
+    return encoded
+
+
+def encode_result(label: str, result: TimingResult) -> Dict[str, object]:
+    """One vector's response entry; arrivals sorted by (node, edge)."""
+    arrivals = []
+    for event in sorted(result.arrivals,
+                        key=lambda e: (e.node, _EDGES[e.transition])):
+        arrival = result.arrivals[event]
+        arrivals.append({
+            "node": event.node,
+            "edge": _EDGES[event.transition],
+            "time": arrival.time,
+            "slope": arrival.slope,
+        })
+    return {"label": label, "arrivals": arrivals}
+
+
+def decode_arrivals(entry: Mapping[str, object]
+                    ) -> Dict[Tuple[str, str], Tuple[float, float]]:
+    """One response entry as ``{(node, edge): (time, slope)}``."""
+    arrivals = entry.get("arrivals")
+    if not isinstance(arrivals, list):
+        raise ServiceError("response entry has no arrivals list")
+    decoded: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    for record in arrivals:
+        if not isinstance(record, dict):
+            raise ServiceError("response arrival is not an object")
+        try:
+            key = (str(record["node"]), str(record["edge"]))
+            decoded[key] = (float(record["time"]), float(record["slope"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed response arrival: {exc}") from exc
+    return decoded

@@ -91,9 +91,12 @@ def write_chrome_trace(source: _RecordsOrTracer, path: str,
     """Write *source* as Chrome trace_event JSON; returns the event count."""
     events = chrome_trace_events(source, parent_pid=parent_pid)
     payload = {"traceEvents": events, "displayTimeUnit": "ms"}
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1)
-        handle.write("\n")
+    try:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+    except OSError as exc:
+        raise TraceError(f"cannot write trace file {path}: {exc}") from exc
     return len(events)
 
 

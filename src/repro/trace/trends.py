@@ -102,12 +102,21 @@ class TrendEntry:
 
 
 def load_history(path: Union[str, pathlib.Path]) -> List[TrendEntry]:
-    """Parse a ``BENCH_history.jsonl`` file (missing file = no history)."""
+    """Parse a ``BENCH_history.jsonl`` file (missing file = no history).
+
+    An unreadable file or a malformed line raises :class:`TraceError`
+    naming the path (and line), never a raw traceback.
+    """
     history_path = pathlib.Path(path)
     if not history_path.exists():
         return []
+    try:
+        text = history_path.read_text()
+    except OSError as exc:
+        raise TraceError(
+            f"cannot read history file {history_path}: {exc}") from exc
     entries: List[TrendEntry] = []
-    for number, line in enumerate(history_path.read_text().splitlines(), 1):
+    for number, line in enumerate(text.splitlines(), 1):
         line = line.strip()
         if not line:
             continue
@@ -116,10 +125,14 @@ def load_history(path: Union[str, pathlib.Path]) -> List[TrendEntry]:
         except json.JSONDecodeError as exc:
             raise TraceError(
                 f"{history_path}:{number}: bad history line: {exc}") from exc
-        entries.append(TrendEntry(
-            timestamp=str(payload.get("timestamp", "")),
-            metrics={str(k): float(v)
-                     for k, v in payload.get("metrics", {}).items()}))
+        try:
+            entries.append(TrendEntry(
+                timestamp=str(payload.get("timestamp", "")),
+                metrics={str(k): float(v)
+                         for k, v in payload.get("metrics", {}).items()}))
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise TraceError(
+                f"{history_path}:{number}: bad history line: {exc}") from exc
     return entries
 
 
@@ -132,8 +145,11 @@ def record_entry(path: Union[str, pathlib.Path],
         metrics=dict(metrics))
     line = json.dumps({"timestamp": entry.timestamp,
                        "metrics": entry.metrics}, sort_keys=True)
-    with open(path, "a") as handle:
-        handle.write(line + "\n")
+    try:
+        with open(path, "a") as handle:
+            handle.write(line + "\n")
+    except OSError as exc:
+        raise TraceError(f"cannot write history file {path}: {exc}") from exc
     return entry
 
 

@@ -1,0 +1,147 @@
+"""Failure-path regression tests for the delta-carryover state.
+
+A propagation that raises mid-run must leave the analyzer in a state
+where the *next* ``analyze_delta()`` is still bit-identical to a cold
+``analyze()`` on a fresh analyzer.  The engine guarantees this by
+invalidating ``_carryover`` whenever ``analyze()`` or ``analyze_delta()``
+raises (see ``TimingAnalyzer.analyze``): a failed run's carryover
+provenance is ambiguous, so the next delta run cold-starts.
+
+These tests inject an exception *mid-propagation* — after some stages
+have already been evaluated and committed into the run's arrival dict —
+and then diff every arrival of the subsequent delta run against a fresh
+analyzer, exactly (``==`` on times and slopes, not approx).
+"""
+
+from __future__ import annotations
+
+from unittest import mock
+
+import pytest
+
+from repro.circuits import adder_input_names, ripple_carry_adder
+from repro.core.timing import TimingAnalyzer
+from repro.core.timing.analyzer import InputSpec
+
+BITS = 4
+
+
+def _vector(late_names, late=0.4e-9, slope=0.2e-9):
+    inputs = {}
+    for name in adder_input_names(BITS):
+        time = late if name in late_names else 0.0
+        inputs[name] = InputSpec(arrival_rise=time, arrival_fall=time,
+                                 slope=slope)
+    return inputs
+
+
+def _assert_identical(result, reference):
+    assert set(result.arrivals) == set(reference.arrivals)
+    for event, arrival in result.arrivals.items():
+        ref = reference.arrivals[event]
+        assert arrival.time == ref.time, event
+        assert arrival.slope == ref.slope, event
+
+
+class _BoomState:
+    __slots__ = ("calls", "armed", "healthy")
+
+    def __init__(self, healthy):
+        self.calls = 0
+        self.armed = False
+        self.healthy = healthy
+
+
+def _mid_propagation_boom(healthy=3):
+    """A patchable ``_evaluate_full`` that raises after *healthy* armed
+    calls — by then the run has committed arrivals for several stages, so
+    the failure happens with genuinely partial run state in flight."""
+    real = TimingAnalyzer._evaluate_full
+    state = _BoomState(healthy)
+
+    def boom(analyzer, stage, arrivals, ranks):
+        if state.armed:
+            state.calls += 1
+            if state.calls > state.healthy:
+                raise RuntimeError("injected mid-propagation failure")
+        return real(analyzer, stage, arrivals, ranks)
+
+    return boom, state
+
+
+@pytest.fixture
+def network(cmos):
+    return ripple_carry_adder(cmos, BITS)
+
+
+def test_delta_after_failed_analyze_matches_cold(network):
+    analyzer = TimingAnalyzer(network)
+    analyzer.analyze(_vector({"a0"}))
+
+    boom, state = _mid_propagation_boom()
+    with mock.patch.object(TimingAnalyzer, "_evaluate_full", boom):
+        state.armed = True
+        with pytest.raises(RuntimeError):
+            analyzer.analyze(_vector({"b1", "a2"}))
+        state.armed = False
+
+        assert state.calls > 1  # the failure really was mid-propagation
+
+        follow_up = _vector({"a3"})
+        result = analyzer.analyze_delta(follow_up)
+        reference = TimingAnalyzer(network).analyze(follow_up)
+    _assert_identical(result, reference)
+
+
+def test_delta_after_failed_delta_matches_cold(network):
+    analyzer = TimingAnalyzer(network)
+    analyzer.analyze(_vector({"a0"}))
+
+    boom, state = _mid_propagation_boom(healthy=1)
+    with mock.patch.object(TimingAnalyzer, "_evaluate_full", boom):
+        state.armed = True
+        with pytest.raises(RuntimeError):
+            # Changing cin dirties the whole carry chain, so the delta
+            # cone forces enough full evaluations to trip the injection.
+            analyzer.analyze_delta(_vector({"cin", "a1"}))
+        state.armed = False
+
+        follow_up = _vector({"b2"})
+        result = analyzer.analyze_delta(follow_up)
+        reference = TimingAnalyzer(network).analyze(follow_up)
+    _assert_identical(result, reference)
+
+
+def test_failed_run_invalidates_carryover(network):
+    analyzer = TimingAnalyzer(network)
+    analyzer.analyze(_vector({"a0"}))
+    assert analyzer._carryover is not None
+
+    boom, state = _mid_propagation_boom()
+    with mock.patch.object(TimingAnalyzer, "_evaluate_full", boom):
+        state.armed = True
+        with pytest.raises(RuntimeError):
+            analyzer.analyze(_vector({"b1"}))
+    assert analyzer._carryover is None
+    # The run-state guard was released by the finally: the analyzer is
+    # immediately usable again.
+    analyzer.analyze(_vector({"b1"}))
+    assert analyzer._carryover is not None
+
+
+def test_failed_run_keeps_lifetime_caches_warm(network):
+    """Invalidation drops only carryover — the path/template/memo caches
+    are input-independent and must survive a failed run."""
+    analyzer = TimingAnalyzer(network)
+    analyzer.analyze(_vector({"a0"}))
+    cached_paths = len(analyzer._paths)
+    cached_delays = len(analyzer._delay_cache)
+    assert cached_paths and cached_delays
+
+    boom, state = _mid_propagation_boom()
+    with mock.patch.object(TimingAnalyzer, "_evaluate_full", boom):
+        state.armed = True
+        with pytest.raises(RuntimeError):
+            analyzer.analyze(_vector({"b1", "a2"}))
+    assert len(analyzer._paths) >= cached_paths
+    assert len(analyzer._delay_cache) >= cached_delays

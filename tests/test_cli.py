@@ -472,6 +472,174 @@ class TestTraceFlags:
         assert real is TimingAnalyzer.analyze_many  # patch reverted
 
 
+class TestFailurePaths:
+    """Every subcommand hitting an engine error must exit 2 with a
+    one-line ``error: …`` diagnostic — never a raw traceback.  The
+    handler lives in ``main()``; these tests drive each subcommand's
+    most likely failure through it."""
+
+    MISSING = "no_such_netlist.sim"
+
+    @pytest.mark.parametrize("argv", [
+        ["validate", MISSING, "--tech", "cmos3"],
+        ["switch", MISSING, "--tech", "cmos3"],
+        ["timing", MISSING, "--tech", "cmos3", "--no-characterize",
+         "--input", "a=0"],
+        ["sweep", MISSING, "--tech", "cmos3", "--no-characterize",
+         "--random", "2"],
+        ["hazards", MISSING, "--tech", "cmos3"],
+    ], ids=["validate", "switch", "timing", "sweep", "hazards"])
+    def test_missing_netlist_exits_2(self, argv, capsys):
+        code = main(argv)
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+        assert "cannot read netlist" in err
+        assert self.MISSING in err
+        assert "Traceback" not in err
+
+    def test_missing_spice_netlist_exits_2(self, capsys):
+        code = main(["validate", "no_such.spice", "--tech", "cmos3"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot read netlist" in err
+
+    def test_malformed_sim_names_line(self, tmp_path, capsys):
+        path = tmp_path / "broken.sim"
+        path.write_text("e a gnd y 2 8\nz what is this\n")
+        code = main(["validate", str(path), "--tech", "cmos3"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "broken.sim:2" in err
+        assert "unknown record type" in err
+
+    def test_timing_trace_unwritable_exits_2(self, tmp_path, capsys):
+        sim = tmp_path / "inv.sim"
+        sim.write_text(INVERTER_SIM)
+        trace = tmp_path / "no_such_dir" / "run.json"
+        code = main(["timing", str(sim), "--tech", "cmos3",
+                     "--no-characterize", "--input", "in=0",
+                     "--trace", str(trace)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot write trace file" in err
+        assert "Traceback" not in err
+
+    def test_characterize_output_unwritable_exits_2(self, tmp_path, capsys):
+        out = tmp_path / "no_such_dir" / "tables.json"
+        code = main(["characterize", "--tech", "cmos3", "-o", str(out)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestReplayFailurePaths:
+    """``verify --replay`` on missing/corrupt artifacts: clean exit 2,
+    diagnostic names the offending path (satellite of DESIGN.md §6)."""
+
+    def test_missing_manifest(self, capsys):
+        code = main(["verify", "--tech", "cmos3",
+                     "--replay", "no_such_manifest.json"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot read manifest" in err
+        assert "no_such_manifest.json" in err
+
+    def test_corrupt_manifest_json(self, tmp_path, capsys):
+        manifest = tmp_path / "case.json"
+        manifest.write_text("{not json")
+        code = main(["verify", "--tech", "cmos3",
+                     "--replay", str(manifest)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "malformed manifest" in err
+
+    def test_manifest_missing_keys(self, tmp_path, capsys):
+        manifest = tmp_path / "case.json"
+        manifest.write_text(json.dumps({"case": "c0"}))
+        code = main(["verify", "--tech", "cmos3",
+                     "--replay", str(manifest)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "missing" in err
+
+    def test_manifest_references_missing_sim(self, tmp_path, capsys):
+        manifest = tmp_path / "case.json"
+        manifest.write_text(json.dumps({
+            "case": "c0", "sim": "gone.sim", "vec": "gone.vec",
+            "modes": ["brute"], "model": "rc-tree"}))
+        code = main(["verify", "--tech", "cmos3",
+                     "--replay", str(manifest)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot read netlist" in err
+        assert "gone.sim" in err
+
+    def test_manifest_references_missing_vec(self, tmp_path, capsys):
+        sim = tmp_path / "c0.sim"
+        sim.write_text("i a\ne a gnd y 2 8\np a vdd y 2 12\n")
+        manifest = tmp_path / "case.json"
+        manifest.write_text(json.dumps({
+            "case": "c0", "sim": "c0.sim", "vec": "gone.vec",
+            "modes": ["brute"], "model": "rc-tree"}))
+        code = main(["verify", "--tech", "cmos3",
+                     "--replay", str(manifest)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot read vector file" in err
+
+
+class TestTrendFailurePaths:
+    """``trend`` over corrupt artifacts: exit 2, path named, no
+    traceback."""
+
+    def _bench(self, tmp_path):
+        bench = tmp_path / "benchmarks"
+        bench.mkdir(exist_ok=True)
+        (bench / "BENCH_demo.json").write_text(json.dumps({"speed": 1.0}))
+        return bench
+
+    def test_corrupt_bench_json(self, tmp_path, capsys):
+        bench = self._bench(tmp_path)
+        (bench / "BENCH_demo.json").write_text("{oops")
+        code = main(["trend", "--bench-dir", str(bench)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot parse" in err
+        assert "BENCH_demo.json" in err
+
+    def test_corrupt_history_line(self, tmp_path, capsys):
+        bench = self._bench(tmp_path)
+        history = bench / "BENCH_history.jsonl"
+        history.write_text('{"timestamp": "t", "metrics": {}}\n{broken\n')
+        code = main(["trend", "--bench-dir", str(bench)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "bad history line" in err
+        assert "BENCH_history.jsonl:2" in err
+
+    def test_history_line_with_bad_metrics(self, tmp_path, capsys):
+        bench = self._bench(tmp_path)
+        history = bench / "BENCH_history.jsonl"
+        history.write_text('{"timestamp": "t", "metrics": {"x": "nan?"}}\n')
+        # a string metric that does not parse as float
+        history.write_text(
+            '{"timestamp": "t", "metrics": {"x": "not-a-number"}}\n')
+        code = main(["trend", "--bench-dir", str(bench)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "bad history line" in err
+
+    def test_history_unwritable(self, tmp_path, capsys):
+        bench = self._bench(tmp_path)
+        code = main(["trend", "--bench-dir", str(bench),
+                     "--history", str(tmp_path / "no_dir" / "h.jsonl")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot write history file" in err
+
+
 class TestTrendCommand:
     def _bench_dir(self, tmp_path, value):
         bench = tmp_path / "benchmarks"

@@ -1,0 +1,200 @@
+"""Hypothesis round-trip properties for the interchange formats.
+
+Two serialization layers carry analysis state across process
+boundaries, and both claim exactness:
+
+* the two-edge vector grammar (``NODE=RISE~FALL[/SLOPE]``) writes times
+  as ``repr`` floats — shortest round-trip formatting — so
+  ``parse(format(x)) == x`` must hold for **any** finite float
+  (reproducer ``.vec`` files and the service wire protocol both lean on
+  this);
+* the ``.sim`` dumper writes 12 significant digits, which is exact for
+  values on the integer grids the generators and real netlists use
+  (integer lambda geometry, integer-femtofarad capacitance, integer
+  ohms) — ``loads(dumps(net))`` must reproduce the network
+  structurally, bit-for-bit on every stored float.
+
+These are the properties the verify subsystem's replay path and the
+timing service's bit-identity guarantee stand on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.vectors import (
+    Vector,
+    format_timing_token,
+    format_vector_line,
+    parse_timing_token,
+    parse_vector_line,
+)
+from repro.core.timing.analyzer import InputSpec
+from repro.netlist import sim_format
+from repro.tech import CMOS3
+
+# ---------------------------------------------------------------------------
+# Timing tokens: exact for arbitrary finite floats
+# ---------------------------------------------------------------------------
+
+_NODE_NAMES = st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True)
+
+_TIMES = st.floats(min_value=0.0, max_value=1e-6, allow_nan=False,
+                   allow_infinity=False)
+_WILD_TIMES = st.floats(allow_nan=False, allow_infinity=False)
+_SLOPES = st.floats(min_value=0.0, max_value=1e-6, allow_nan=False,
+                    allow_infinity=False)
+
+
+@st.composite
+def input_specs(draw, times=_TIMES):
+    """Any spec the grammar can express: each edge present or disabled,
+    optional slope.  A fully static spec drops its slope on the wire
+    (``name=-`` carries no ``/SLOPE``), so the strategy pins it to 0."""
+    rise = draw(st.one_of(st.none(), times))
+    fall = draw(st.one_of(st.none(), times))
+    if rise is None and fall is None:
+        slope = 0.0
+    else:
+        slope = draw(_SLOPES)
+    return InputSpec(arrival_rise=rise, arrival_fall=fall, slope=slope)
+
+
+class TestTimingTokenRoundTrip:
+    @given(name=_NODE_NAMES, spec=input_specs())
+    @settings(max_examples=300, deadline=None)
+    def test_token_round_trips_exactly(self, name, spec):
+        token = format_timing_token(name, spec)
+        parsed_name, parsed = parse_timing_token(token)
+        assert parsed_name == name
+        assert parsed == spec  # exact float equality via dataclass eq
+
+    @given(name=_NODE_NAMES, spec=input_specs(times=_WILD_TIMES))
+    @settings(max_examples=300, deadline=None)
+    def test_token_round_trips_for_any_finite_float(self, name, spec):
+        # repr() is shortest-round-trip: even denormals, negative times
+        # and 17-significant-digit values survive the wire.
+        parsed_name, parsed = parse_timing_token(
+            format_timing_token(name, spec))
+        assert parsed_name == name
+        assert parsed == spec
+
+    @given(st.lists(st.tuples(_NODE_NAMES, input_specs()),
+                    min_size=1, max_size=6, unique_by=lambda t: t[0]),
+           st.from_regex(r"[a-z][a-z0-9._-]{0,11}", fullmatch=True),
+           st.integers(min_value=0, max_value=99))
+    @settings(max_examples=150, deadline=None)
+    def test_vector_line_round_trips_exactly(self, items, label, position):
+        vector = Vector(label=label, inputs=dict(items))
+        line = format_vector_line(vector)
+        parsed = parse_vector_line(line, position)
+        assert parsed.label == label
+        assert dict(parsed.inputs) == dict(vector.inputs)
+
+
+# ---------------------------------------------------------------------------
+# .sim dump: exact on integer grids
+# ---------------------------------------------------------------------------
+
+_SIGNALS = ("a", "b", "c", "mid", "n1", "n2", "out", "y")
+_CHANNEL = _SIGNALS + ("gnd", "vdd")
+
+
+@st.composite
+def sim_texts(draw):
+    """Random ``.sim`` text on the generators' integer grids: integer
+    lambda geometry, integer-femtofarad caps, integer ohms — the regime
+    the 12-significant-digit dump is exact in (see
+    ``sim_format.dumps``)."""
+    lines = []
+    inputs = draw(st.lists(st.sampled_from(_SIGNALS), min_size=1,
+                           max_size=3, unique=True))
+    lines.append("i " + " ".join(inputs))
+    for _ in range(draw(st.integers(min_value=1, max_value=8))):
+        letter = draw(st.sampled_from(["e", "p"]))
+        gate = draw(st.sampled_from(_SIGNALS))
+        source = draw(st.sampled_from(_CHANNEL))
+        drain = draw(st.sampled_from(
+            [n for n in _CHANNEL if n != source]))
+        length = draw(st.integers(min_value=1, max_value=50))
+        width = draw(st.integers(min_value=1, max_value=500))
+        lines.append(f"{letter} {gate} {source} {drain} {length} {width}")
+    # At most one grounded cap per node: the loader folds supply-terminal
+    # caps into node.capacitance by float accumulation, and a *sum* of
+    # integer-fF values can sit an ulp off the grid (normalizing that is
+    # the idempotence test's job, not exact identity's).
+    grounded = draw(st.dictionaries(
+        st.sampled_from(_SIGNALS),
+        st.integers(min_value=1, max_value=10_000), max_size=3))
+    for node, femto in sorted(grounded.items()):
+        lines.append(f"C {node} gnd {femto}")
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        node = draw(st.sampled_from(_SIGNALS))
+        other = draw(st.sampled_from([n for n in _SIGNALS if n != node]))
+        femto = draw(st.integers(min_value=1, max_value=10_000))
+        lines.append(f"C {node} {other} {femto}")
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        node = draw(st.sampled_from(_SIGNALS))
+        other = draw(st.sampled_from(
+            ["gnd", "vdd"] + [n for n in _SIGNALS if n != node]))
+        ohms = draw(st.integers(min_value=1, max_value=10_000_000))
+        lines.append(f"R {node} {other} {ohms}")
+    return "\n".join(lines) + "\n"
+
+
+def _structure(network):
+    """Everything the ``.sim`` subset stores, floats included exactly."""
+    return (
+        sorted(node.name for node in network.inputs()),
+        [(t.kind, t.gate, t.source, t.drain, t.width, t.length)
+         for t in network.transistors],
+        sorted((r.node_a, r.node_b, r.resistance)
+               for r in network.resistors),
+        sorted((c.node_a, c.node_b, c.capacitance)
+               for c in network.capacitors),
+        sorted((n.name, n.capacitance) for n in network.signal_nodes),
+    )
+
+
+class TestSimDumpRoundTrip:
+    @given(text=sim_texts())
+    @settings(max_examples=150, deadline=None)
+    def test_dump_parse_is_identity_on_parsed_networks(self, text):
+        first = sim_format.loads(text, CMOS3, name="prop")
+        dumped = sim_format.dumps(first)
+        second = sim_format.loads(dumped, CMOS3, name="prop")
+        assert _structure(second) == _structure(first)
+
+    @given(text=sim_texts())
+    @settings(max_examples=100, deadline=None)
+    def test_dump_is_idempotent(self, text):
+        # After one normalization pass the text is a fixed point: the
+        # 12-digit values re-print byte-identically.
+        network = sim_format.loads(text, CMOS3, name="prop")
+        dumped = sim_format.dumps(network)
+        assert sim_format.dumps(
+            sim_format.loads(dumped, CMOS3, name="prop")) == dumped
+
+    def test_default_geometry_survives(self):
+        # Records without explicit L/W take the technology defaults and
+        # must dump/parse back to the same floats.
+        network = sim_format.loads("i a\ne a gnd y\np a vdd y\n",
+                                   CMOS3, name="defaults")
+        again = sim_format.loads(sim_format.dumps(network), CMOS3,
+                                 name="defaults")
+        assert _structure(again) == _structure(network)
+
+    def test_accumulated_grounded_caps_normalize_in_one_pass(self):
+        # Three grounded caps on one node fold by float accumulation,
+        # which can land an ulp off the femtofarad grid.  The 12-digit
+        # dump snaps the sum back onto the grid, and from then on
+        # dump/parse is a fixed point.
+        text = "i a\ne a gnd y 2 8\nC y gnd 17\nC y gnd 25\nC gnd y 3\n"
+        network = sim_format.loads(text, CMOS3, name="caps")
+        node = {n.name: n for n in network.signal_nodes}["y"]
+        assert node.capacitance == 17 * 1e-15 + 25 * 1e-15 + 3 * 1e-15
+        dumped = sim_format.dumps(network)
+        assert "C y gnd 45" in dumped
+        normalized = sim_format.loads(dumped, CMOS3, name="caps")
+        assert sim_format.dumps(normalized) == dumped
